@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctqosim/internal/core"
+)
+
+func TestParseTier(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    core.Tier
+		wantErr bool
+	}{
+		{give: "web", want: core.TierWeb},
+		{give: "app", want: core.TierApp},
+		{give: "db", want: core.TierDB},
+		{give: "disk", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseTier(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseTier(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseTier(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunValidatesFlags(t *testing.T) {
+	tests := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-nx", "7"}, "nx must be"},
+		{[]string{"-bottleneck", "nowhere"}, "bottleneck must be"},
+		{[]string{"-kind", "magnetic"}, "kind must be"},
+	}
+	for _, tt := range tests {
+		err := run(tt.args)
+		if err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("run(%v) = %v, want containing %q", tt.args, err, tt.want)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// A short real analysis run through the CLI path.
+	err := run([]string{
+		"-nx", "1", "-bottleneck", "app", "-kind", "cpu",
+		"-duration", (20 * time.Second).String(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

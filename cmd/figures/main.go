@@ -1,0 +1,226 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation into an output directory: per-figure CSV timelines plus a
+// paper-vs-measured summary (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	figures [-out out] [-fig 3] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ctqosim/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// figure couples a paper figure with its scenario and the checks that the
+// paper's qualitative claims hold.
+type figure struct {
+	id     string
+	paper  string // what the paper reports
+	cfg    core.Config
+	render func(res *core.Result) string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	outDir := fs.String("out", "out", "output directory")
+	only := fs.String("fig", "", "regenerate only this figure id (e.g. 3, 1a, 12)")
+	quick := fs.Bool("quick", false, "shorter runs for smoke checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var report strings.Builder
+	report.WriteString("paper-vs-measured summary (regenerate with: go run ./cmd/figures)\n")
+	fmt.Fprintf(&report, "generated for simulated durations%s\n\n",
+		map[bool]string{true: " (quick mode)", false: ""}[*quick])
+
+	for _, fig := range figures(*quick) {
+		if *only != "" && fig.id != *only {
+			continue
+		}
+		start := time.Now()
+		res, err := core.New(fig.cfg).Run()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", fig.id, err)
+		}
+		dir := filepath.Join(*outDir, "fig"+fig.id)
+		if err := core.WriteCSVs(res, dir); err != nil {
+			return fmt.Errorf("figure %s: %w", fig.id, err)
+		}
+		if err := core.WriteSVGs(res, dir); err != nil {
+			return fmt.Errorf("figure %s: %w", fig.id, err)
+		}
+		fmt.Fprintf(&report, "== Figure %s (%v wall)\n", fig.id,
+			time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(&report, "paper:    %s\n", fig.paper)
+		fmt.Fprintf(&report, "measured: %s\n\n", fig.render(res))
+		fmt.Printf("figure %s done (%v)\n", fig.id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *only == "" || *only == "12" {
+		start := time.Now()
+		rows, err := core.RunFigure12(nil)
+		if err != nil {
+			return fmt.Errorf("figure 12: %w", err)
+		}
+		if err := writeFig12CSV(filepath.Join(*outDir, "fig12", "throughput.csv"), rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(&report, "== Figure 12 (%v wall)\n", time.Since(start).Round(time.Millisecond))
+		report.WriteString("paper:    sync(2000 threads) decays 1159->374 req/s over concurrency 100->1600; async wins at high concurrency\n")
+		report.WriteString("measured: concurrency sync async\n")
+		for _, p := range rows {
+			fmt.Fprintf(&report, "          %6d %6.0f %6.0f\n", p.Concurrency, p.Sync, p.Async)
+		}
+		report.WriteString("\n")
+		fmt.Printf("figure 12 done (%v)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	summaryPath := filepath.Join(*outDir, "summary.txt")
+	if err := os.WriteFile(summaryPath, []byte(report.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nsummary written to %s\n", report.String(), summaryPath)
+	return nil
+}
+
+func figures(quick bool) []figure {
+	shorten := func(cfg core.Config, quickDur time.Duration) core.Config {
+		if quick {
+			cfg.Duration = quickDur
+		}
+		return cfg
+	}
+	histRender := func(res *core.Result) string {
+		name, util := res.HighestMeanUtil()
+		return fmt.Sprintf("throughput %.0f req/s, highest avg CPU %.0f%% (%s), clusters at %v s, VLRT %d",
+			res.Throughput, util*100, name, res.Histogram().ModeClusters(0.0001), res.VLRTCount)
+	}
+	ctqoRender := func(res *core.Result) string {
+		drops := make([]string, 0, len(res.DropsPerServer))
+		for _, tier := range res.System.TierNames() {
+			if d := res.DropsPerServer[tier]; d > 0 {
+				drops = append(drops, fmt.Sprintf("%s=%d", tier, d))
+			}
+		}
+		dropsStr := "none"
+		if len(drops) > 0 {
+			dropsStr = strings.Join(drops, ", ")
+		}
+		episodes := ""
+		if res.Report != nil {
+			dirs := make(map[string]int)
+			for _, ep := range res.Report.CTQOEpisodes() {
+				dirs[ep.Direction.String()]++
+			}
+			for d, n := range dirs {
+				episodes += fmt.Sprintf("; %d× %s", n, d)
+			}
+		}
+		return fmt.Sprintf("drops: %s; VLRT %d%s", dropsStr, res.VLRTCount, episodes)
+	}
+
+	return []figure{
+		{
+			id:     "1a",
+			paper:  "WL 4000: 572 req/s, 43% CPU, multi-modal peaks near 0/3/6/9s",
+			cfg:    shorten(core.Figure1Config(4000), 60*time.Second),
+			render: histRender,
+		},
+		{
+			id:     "1b",
+			paper:  "WL 7000: 990 req/s, 75% CPU, multi-modal peaks near 0/3/6/9s",
+			cfg:    shorten(core.Figure1Config(7000), 60*time.Second),
+			render: histRender,
+		},
+		{
+			id:     "1c",
+			paper:  "WL 8000: 1103 req/s, 85% CPU, multi-modal peaks near 0/3/6/9s",
+			cfg:    shorten(core.Figure1Config(8000), 60*time.Second),
+			render: histRender,
+		},
+		{
+			id:     "3",
+			paper:  "upstream CTQO: Tomcat millibottlenecks fill Apache past 278 (428 after spare process); drops and VLRT at Apache",
+			cfg:    shorten(core.Figure3Config(), 45*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "5",
+			paper:  "I/O millibottlenecks in MySQL every 30s; upstream CTQO chain MySQL->Tomcat->Apache; drops at Apache",
+			cfg:    shorten(core.Figure5Config(), 70*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "7",
+			paper:  "NX=1: no drops at Nginx; downstream CTQO drops at Tomcat (MaxSysQDepth 293)",
+			cfg:    shorten(core.Figure7Config(), 45*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "8",
+			paper:  "NX=2: MySQL millibottleneck; downstream CTQO drops at MySQL (MaxSysQDepth 228)",
+			cfg:    shorten(core.Figure8Config(), 45*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "9",
+			paper:  "NX=2: XTomcat millibottleneck; batch release overflows MySQL (228); drops at MySQL",
+			cfg:    shorten(core.Figure9Config(), 45*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "10",
+			paper:  "NX=3: same CPU millibottleneck; no CTQO, no drops",
+			cfg:    shorten(core.Figure10Config(), 45*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "11",
+			paper:  "NX=3: I/O millibottleneck in XMySQL; no CTQO, no drops",
+			cfg:    shorten(core.Figure11Config(), 70*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "V-B-omitted",
+			paper:  "NX=1, MySQL millibottleneck: upstream CTQO, drops at Tomcat (graphs omitted in the paper)",
+			cfg:    shorten(core.NX1MySQLBottleneckConfig(), 45*time.Second),
+			render: ctqoRender,
+		},
+		{
+			id:     "abstract",
+			paper:  "all-async system shows no CTQO at utilization as high as 83%",
+			cfg:    shorten(core.AsyncHighUtilConfig(), 45*time.Second),
+			render: ctqoRender,
+		},
+	}
+}
+
+func writeFig12CSV(path string, rows []core.ThroughputPoint) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("concurrency,sync_req_s,async_req_s\n")
+	for _, p := range rows {
+		fmt.Fprintf(&b, "%d,%.1f,%.1f\n", p.Concurrency, p.Sync, p.Async)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

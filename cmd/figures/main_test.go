@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigureTableCoversTheEvaluation(t *testing.T) {
+	figs := figures(true)
+	want := map[string]bool{
+		"1a": false, "1b": false, "1c": false,
+		"3": false, "5": false, "7": false, "8": false, "9": false,
+		"10": false, "11": false, "V-B-omitted": false, "abstract": false,
+	}
+	for _, f := range figs {
+		if _, ok := want[f.id]; ok {
+			want[f.id] = true
+		}
+		if f.paper == "" || f.render == nil {
+			t.Errorf("figure %s incompletely described", f.id)
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("figure %s missing from the regeneration table", id)
+		}
+	}
+}
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	// Regenerate one figure in quick mode into a temp dir and check the
+	// artifacts land.
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-fig", "9", "-quick"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range []string{"queues.csv", "util.csv", "vlrt.csv", "histogram.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, "fig9", f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if !strings.Contains(string(data), "Figure 9") {
+		t.Fatalf("summary does not mention figure 9:\n%s", data)
+	}
+}

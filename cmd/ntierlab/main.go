@@ -1,0 +1,244 @@
+// Command ntierlab runs reproduction scenarios from the command line.
+//
+// Usage:
+//
+//	ntierlab list
+//	ntierlab run <scenario> [-duration 60s] [-seed 1] [-csv dir] [-json]
+//	ntierlab predict <rate req/s> <burst duration> <capacity>
+//	ntierlab fig12 [-points 100,200,400,800,1600]
+//	ntierlab matrix [-duration 45s]
+//	ntierlab replicate <scenario> [-n 5] [-duration 60s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ctqosim/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ntierlab:", err)
+		os.Exit(1)
+	}
+}
+
+// scenarios maps CLI names to their configurations.
+func scenarios() map[string]core.Config { return core.Scenarios() }
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ntierlab <list|run|predict|fig12> ...")
+	}
+	switch args[0] {
+	case "list":
+		return list()
+	case "run":
+		return runScenario(args[1:])
+	case "predict":
+		return predict(args[1:])
+	case "fig12":
+		return fig12(args[1:])
+	case "matrix":
+		return matrix(args[1:])
+	case "replicate":
+		return replicate(args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func list() error {
+	all := scenarios()
+	names := make([]string, 0, len(all))
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-16s %s\n", name, all[name].Name)
+	}
+	return nil
+}
+
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	duration := fs.Duration("duration", 0, "override measured duration")
+	seed := fs.Int64("seed", 0, "override RNG seed")
+	csvDir := fs.String("csv", "", "write timeline CSVs into this directory")
+	asJSON := fs.Bool("json", false, "emit the machine-readable summary instead of text")
+
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ntierlab run <scenario> [flags]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	cfg, ok := scenarios()[name]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", name)
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	start := time.Now()
+	res, err := core.New(cfg).Run()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Printf("simulated %v in %v wall time\n\n",
+		res.End, time.Since(start).Round(time.Millisecond))
+	fmt.Println(res.Summary())
+	if res.Report != nil {
+		fmt.Println(res.Report)
+	}
+	printHistogram(res)
+	if *csvDir != "" {
+		if err := core.WriteCSVs(res, *csvDir); err != nil {
+			return err
+		}
+		fmt.Printf("timelines written to %s\n", *csvDir)
+	}
+	return nil
+}
+
+// printHistogram renders the Fig. 1 style per-second summary.
+func printHistogram(res *core.Result) {
+	h := res.Histogram()
+	perSecond := make(map[int]int64)
+	for _, i := range h.NonZeroBins() {
+		perSecond[int(h.BinStart(i)/time.Second)] += h.Count(i)
+	}
+	secs := make([]int, 0, len(perSecond))
+	for s := range perSecond {
+		secs = append(secs, s)
+	}
+	sort.Ints(secs)
+	fmt.Println("response-time frequency by second (semi-log shape of Fig. 1):")
+	for _, s := range secs {
+		fmt.Printf("  [%2d-%2ds) %8d\n", s, s+1, perSecond[s])
+	}
+}
+
+func predict(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: ntierlab predict <rate req/s> <duration> <capacity>")
+	}
+	rate, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return fmt.Errorf("rate: %w", err)
+	}
+	dur, err := time.ParseDuration(args[1])
+	if err != nil {
+		return fmt.Errorf("duration: %w", err)
+	}
+	capacity, err := strconv.Atoi(args[2])
+	if err != nil {
+		return fmt.Errorf("capacity: %w", err)
+	}
+	p := core.PredictOverflow(rate, dur, capacity)
+	fmt.Printf("arrivals during millibottleneck: %d\n", p.Arrivals)
+	fmt.Printf("queueable (MaxSysQDepth):        %d\n", p.Capacity)
+	if p.Overflows() {
+		fmt.Printf("VERDICT: overflow - ~%d dropped packets expected\n", p.Dropped)
+	} else {
+		fmt.Printf("VERDICT: absorbed - shortest overflowing burst at this rate: %v\n",
+			core.MinBurstForOverflow(rate, capacity).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func fig12(args []string) error {
+	fs := flag.NewFlagSet("fig12", flag.ContinueOnError)
+	pointsFlag := fs.String("points", "", "comma-separated concurrency levels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var points []int
+	if *pointsFlag != "" {
+		for _, s := range strings.Split(*pointsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("points: %w", err)
+			}
+			points = append(points, n)
+		}
+	}
+	rows, err := core.RunFigure12(points)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-22s %s\n", "concurrency",
+		fmt.Sprintf("sync (%d threads)", core.Figure12Threads), "async")
+	for _, p := range rows {
+		fmt.Printf("%-12d %-22.0f %.0f\n", p.Concurrency, p.Sync, p.Async)
+	}
+	return nil
+}
+
+func replicate(args []string) error {
+	fs := flag.NewFlagSet("replicate", flag.ContinueOnError)
+	n := fs.Int("n", 5, "number of replications")
+	duration := fs.Duration("duration", 0, "override measured duration")
+
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ntierlab replicate <scenario> [-n 5]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	cfg, ok := scenarios()[name]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", name)
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	cfg.Trace = false
+
+	stats, err := core.RunReplications(cfg, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s over %d replications (95%% CI, seeds %v)\n", cfg.Name, *n, stats.Seeds)
+	fmt.Printf("  throughput [req/s]: %v\n", stats.Throughput)
+	fmt.Printf("  VLRT per run:       %v\n", stats.VLRT)
+	fmt.Printf("  drops per run:      %v\n", stats.Drops)
+	fmt.Printf("  p99 [ms]:           %v\n", stats.P99Millis)
+	return nil
+}
+
+func matrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	duration := fs.Duration("duration", 45*time.Second, "measured duration per cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("running the full CTQO grid (4 architectures × 2 tiers × 2 kinds)...")
+	cells, err := core.RunCTQOMatrix(core.MatrixConfig{Duration: *duration})
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatMatrix(cells))
+	return nil
+}

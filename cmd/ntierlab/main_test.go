@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioTableComplete(t *testing.T) {
+	all := scenarios()
+	for _, name := range []string{
+		"fig1-wl4000", "fig1-wl7000", "fig1-wl8000",
+		"fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"nx1-mysql", "async-highutil",
+	} {
+		if _, ok := all[name]; !ok {
+			t.Errorf("scenario %q missing", name)
+		}
+	}
+	for name, cfg := range all {
+		if cfg.Name == "" {
+			t.Errorf("scenario %q has no description", name)
+		}
+		if cfg.Clients == 0 {
+			t.Errorf("scenario %q has no clients", name)
+		}
+	}
+}
+
+func TestRunDispatchErrors(t *testing.T) {
+	tests := []struct {
+		args []string
+		want string
+	}{
+		{nil, "usage"},
+		{[]string{"bogus"}, "unknown command"},
+		{[]string{"run"}, "usage"},
+		{[]string{"run", "no-such-scenario"}, "unknown scenario"},
+		{[]string{"predict"}, "usage"},
+		{[]string{"predict", "x", "400ms", "278"}, "rate"},
+		{[]string{"predict", "1000", "x", "278"}, "duration"},
+		{[]string{"predict", "1000", "400ms", "x"}, "capacity"},
+		{[]string{"fig12", "-points", "a,b"}, "points"},
+	}
+	for _, tt := range tests {
+		err := run(tt.args)
+		if err == nil {
+			t.Errorf("run(%v): no error, want %q", tt.args, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("run(%v) = %q, want containing %q", tt.args, err, tt.want)
+		}
+	}
+}
+
+func TestListAndPredictSucceed(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	// The paper's example: 1000 req/s × 0.4s against 278.
+	if err := run([]string{"predict", "1000", "400ms", "278"}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	// Non-overflow branch.
+	if err := run([]string{"predict", "100", "400ms", "278"}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+// Tailanalysis: compare the latency tails of the synchronous and
+// asynchronous systems under identical millibottlenecks, and contrast the
+// measurement with what classic queueing theory predicts — the paper's
+// Section III argument that steady-state queueing cannot explain the tail.
+//
+//	go run ./examples/tailanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ctqosim/internal/analytic"
+	"ctqosim/internal/core"
+	"ctqosim/internal/ntier"
+	"ctqosim/internal/workload"
+)
+
+func main() {
+	run := func(level ntier.NX) *core.Result {
+		res, err := core.New(core.Config{
+			Name:          fmt.Sprintf("tail %s", level),
+			NX:            level,
+			Clients:       7000,
+			Duration:      60 * time.Second,
+			Consolidation: &core.ConsolidationSpec{Tier: core.TierApp},
+		}).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	syncRes := run(ntier.NX0)
+	asyncRes := run(ntier.NX3)
+
+	fmt.Println("latency percentiles under identical app-tier millibottlenecks:")
+	fmt.Printf("%-10s %-14s %-14s\n", "quantile", "sync (NX=0)", "async (NX=3)")
+	for _, p := range []float64{0.50, 0.90, 0.99, 0.999, 1} {
+		fmt.Printf("p%-9.4g %-14v %-14v\n", p*100,
+			syncRes.Recorder.Percentile(p).Round(time.Millisecond),
+			asyncRes.Recorder.Percentile(p).Round(time.Millisecond))
+	}
+	fmt.Printf("\nVLRT (>3s): sync %d, async %d\n", syncRes.VLRTCount, asyncRes.VLRTCount)
+	fmt.Printf("dropped packets: sync %d, async %d\n\n", syncRes.TotalDrops, asyncRes.TotalDrops)
+
+	// What would steady-state queueing predict? MVA for the closed
+	// network, and the M/M/1 odds of a >3s response at this utilization.
+	model := analytic.FromMix(workload.DefaultMix(), workload.DefaultThinkTime)
+	sol := model.Solve(7000)
+	fmt.Printf("queueing theory (MVA): throughput %.0f req/s, mean RT %v, app util %.0f%%\n",
+		sol.Throughput, sol.ResponseTime.Round(time.Microsecond), sol.Utilizations[1]*100)
+
+	_, util := syncRes.HighestMeanUtil()
+	odds := analytic.VLRTOddsUnderQueueing(util, 750*time.Microsecond)
+	measured := float64(syncRes.VLRTCount) / float64(syncRes.Recorder.Len())
+	fmt.Printf("P(RT > 3s) under steady-state queueing at %.0f%% util: %.3g\n", util*100, odds)
+	fmt.Printf("P(RT > 3s) measured in the sync system:            %.3g\n", measured)
+	fmt.Println("\nThe tail is not a queueing tail — it is dropped packets plus the")
+	fmt.Println("3-second retransmission timer, which is why the async replacement")
+	fmt.Println("removes it without changing capacity.")
+}

@@ -1,0 +1,3 @@
+module ctqosim
+
+go 1.22

@@ -1,0 +1,252 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ctqosim/internal/workload"
+)
+
+func network() *ClosedNetwork {
+	return FromMix(workload.DefaultMix(), workload.DefaultThinkTime)
+}
+
+func TestMVASingleClient(t *testing.T) {
+	n := network()
+	sol := n.Solve(1)
+	// One client: X = 1 / (Z + ΣD).
+	var total float64
+	for _, s := range n.Stations {
+		total += s.Demand.Seconds()
+	}
+	want := 1 / (n.Think.Seconds() + total)
+	if math.Abs(sol.Throughput-want) > 1e-9 {
+		t.Fatalf("X(1) = %v, want %v", sol.Throughput, want)
+	}
+	if sol.ResponseTime != time.Duration(total*float64(time.Second)) {
+		t.Fatalf("R(1) = %v, want sum of demands", sol.ResponseTime)
+	}
+}
+
+func TestMVASaturationBound(t *testing.T) {
+	n := network()
+	sat := n.SaturationThroughput()
+	sol := n.Solve(100000)
+	if sol.Throughput > sat+1e-6 {
+		t.Fatalf("X = %v exceeds the 1/Dmax bound %v", sol.Throughput, sat)
+	}
+	if sol.Throughput < 0.99*sat {
+		t.Fatalf("X = %v far below saturation %v at huge population", sol.Throughput, sat)
+	}
+}
+
+func TestMVAPredictsPaperThroughputs(t *testing.T) {
+	// MVA over the calibrated mix must land on the paper's measured
+	// throughputs for the three Fig. 1 workloads (±3%).
+	n := network()
+	tests := []struct {
+		clients int
+		want    float64
+	}{
+		{4000, 571},
+		{7000, 1000}, // below saturation the delay term dominates: N/Z
+		{8000, 1143},
+	}
+	for _, tt := range tests {
+		sol := n.Solve(tt.clients)
+		if math.Abs(sol.Throughput-tt.want)/tt.want > 0.03 {
+			t.Errorf("X(%d) = %.0f, want ~%.0f", tt.clients, sol.Throughput, tt.want)
+		}
+	}
+}
+
+func TestMVABottleneckIsAppTier(t *testing.T) {
+	n := network()
+	sol := n.Solve(7000)
+	if n.Stations[sol.Bottleneck].Name != "app" {
+		t.Fatalf("bottleneck = %s, want app", n.Stations[sol.Bottleneck].Name)
+	}
+	// Utilizations ordered app > db > web at the calibrated demands.
+	if !(sol.Utilizations[1] > sol.Utilizations[2] &&
+		sol.Utilizations[2] > sol.Utilizations[0]) {
+		t.Fatalf("utilizations = %v, want app > db > web", sol.Utilizations)
+	}
+	// App utilization at WL 7000 ≈ 75% (the paper's caption).
+	if sol.Utilizations[1] < 0.70 || sol.Utilizations[1] > 0.80 {
+		t.Fatalf("app util = %.2f, want ~0.75", sol.Utilizations[1])
+	}
+}
+
+func TestMVAUtilizationConsistency(t *testing.T) {
+	n := network()
+	sol := n.Solve(5000)
+	for i, s := range n.Stations {
+		want := sol.Throughput * s.Demand.Seconds()
+		if math.Abs(sol.Utilizations[i]-want) > 1e-9 {
+			t.Fatalf("util[%d] = %v, want X·D = %v", i, sol.Utilizations[i], want)
+		}
+	}
+}
+
+func TestSaturationThroughputEmptyNetwork(t *testing.T) {
+	n := &ClosedNetwork{Think: time.Second}
+	if !math.IsInf(n.SaturationThroughput(), 1) {
+		t.Fatal("no stations should mean unbounded throughput")
+	}
+}
+
+func TestMM1TailProbability(t *testing.T) {
+	// μ=1000/s, λ=430/s (43% util): P(RT>3s) = e^(-570·3) ≈ 0.
+	p := MM1TailProbability(430, 1000, 3*time.Second)
+	if p > 1e-300 {
+		t.Fatalf("P = %v, want astronomically small", p)
+	}
+	// Unstable queue: probability 1.
+	if MM1TailProbability(1000, 900, time.Second) != 1 {
+		t.Fatal("unstable queue must return 1")
+	}
+	// Zero horizon: probability 1 for any stable queue.
+	if got := MM1TailProbability(100, 1000, 0); got != 1 {
+		t.Fatalf("P(RT>0) = %v, want 1", got)
+	}
+}
+
+func TestVLRTOddsUnderQueueing(t *testing.T) {
+	// The paper's operating points: even at 85% utilization with a
+	// sub-millisecond service time, a 3-second response is impossible
+	// under steady-state queueing.
+	for _, util := range []float64{0.43, 0.75, 0.85} {
+		p := VLRTOddsUnderQueueing(util, 750*time.Microsecond)
+		if p > 1e-100 {
+			t.Fatalf("util %.2f: P(VLRT) = %v, want ~0", util, p)
+		}
+	}
+	// Only at essentially full saturation does the tail open up.
+	if p := VLRTOddsUnderQueueing(0.999999, 750*time.Microsecond); p < 1e-10 {
+		t.Fatalf("near saturation P = %v, want appreciable", p)
+	}
+	if VLRTOddsUnderQueueing(0.5, 0) != 0 {
+		t.Fatal("zero service time should return 0")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	tests := []struct {
+		c       int
+		offered float64
+		want    float64
+		tol     float64
+	}{
+		// Single server: Erlang-C reduces to ρ.
+		{1, 0.5, 0.5, 1e-9},
+		// Classic tabulated value: c=2, a=1 → 1/3.
+		{2, 1, 1.0 / 3, 1e-9},
+		// c=5, a=4: published value ≈ 0.5541.
+		{5, 4, 0.5541, 5e-4},
+	}
+	for _, tt := range tests {
+		got := ErlangC(tt.c, tt.offered)
+		if math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("ErlangC(%d, %v) = %v, want %v", tt.c, tt.offered, got, tt.want)
+		}
+	}
+}
+
+func TestErlangCEdgeCases(t *testing.T) {
+	if ErlangC(0, 1) != 0 || ErlangC(2, -1) != 0 {
+		t.Fatal("invalid inputs should return 0")
+	}
+	if ErlangC(2, 2) != 1 || ErlangC(2, 3) != 1 {
+		t.Fatal("unstable systems should return 1")
+	}
+}
+
+func TestMMcWaitTail(t *testing.T) {
+	// With many servers and low load, waiting is near-impossible.
+	if p := MMcWaitTailProbability(100, 10, 1, time.Second); p > 1e-6 {
+		t.Fatalf("P = %v, want ~0", p)
+	}
+	if MMcWaitTailProbability(1, 10, 5, time.Second) != 1 {
+		t.Fatal("unstable M/M/c must return 1")
+	}
+	if MMcWaitTailProbability(0, 1, 1, time.Second) != 1 {
+		t.Fatal("c=0 must return 1")
+	}
+}
+
+// Property: Erlang-C is within [0,1] and increases with offered load.
+func TestPropertyErlangCMonotone(t *testing.T) {
+	f := func(c8 uint8, load8 uint8) bool {
+		c := int(c8%20) + 1
+		a1 := float64(load8%100) / 100 * float64(c) * 0.98
+		a2 := a1 * 1.01
+		p1, p2 := ErlangC(c, a1), ErlangC(c, a2)
+		if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
+			return false
+		}
+		return p2 >= p1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MVA throughput is monotone in population and bounded by both
+// N/(Z+ΣD) from below... in fact bounded above by min(N/(Z+R(1)), 1/Dmax).
+func TestPropertyMVABounds(t *testing.T) {
+	f := func(n16 uint16) bool {
+		n := network()
+		clients := int(n16%9000) + 1
+		sol := n.Solve(clients)
+		if sol.Throughput <= 0 {
+			return false
+		}
+		if sol.Throughput > n.SaturationThroughput()+1e-9 {
+			return false
+		}
+		// Asymptotic optimism bound: X(N) <= N / (Z + R(1)).
+		var minR float64
+		for _, s := range n.Stations {
+			minR += s.Demand.Seconds()
+		}
+		bound := float64(clients) / (n.Think.Seconds() + minR)
+		return sol.Throughput <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsBracketMVA(t *testing.T) {
+	n := network()
+	for _, clients := range []int{1, 100, 4000, 7000, 20000} {
+		lower, upper := n.Bounds(clients)
+		sol := n.Solve(clients)
+		if sol.Throughput < lower-1e-9 || sol.Throughput > upper+1e-9 {
+			t.Errorf("N=%d: MVA X=%.2f outside bounds [%.2f, %.2f]",
+				clients, sol.Throughput, lower, upper)
+		}
+	}
+	if lo, hi := n.Bounds(0); lo != 0 || hi != 0 {
+		t.Fatal("zero population bounds should be zero")
+	}
+}
+
+// Property: bounds are ordered and monotone in population.
+func TestPropertyBoundsMonotone(t *testing.T) {
+	f := func(n16 uint16) bool {
+		n := network()
+		clients := int(n16%20000) + 1
+		lo1, hi1 := n.Bounds(clients)
+		lo2, hi2 := n.Bounds(clients + 100)
+		if lo1 > hi1 || lo2 > hi2 {
+			return false
+		}
+		return lo2 >= lo1-1e-12 && hi2 >= hi1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

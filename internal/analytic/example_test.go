@@ -1,0 +1,30 @@
+package analytic_test
+
+import (
+	"fmt"
+	"time"
+
+	"ctqosim/internal/analytic"
+	"ctqosim/internal/workload"
+)
+
+// Solve the paper's closed network at WL 4000 and compare with the
+// measured 572 req/s.
+func ExampleClosedNetwork_Solve() {
+	model := analytic.FromMix(workload.DefaultMix(), workload.DefaultThinkTime)
+	sol := model.Solve(4000)
+	fmt.Printf("throughput: %.0f req/s\n", sol.Throughput)
+	fmt.Printf("bottleneck: %s\n", model.Stations[sol.Bottleneck].Name)
+	// Output:
+	// throughput: 571 req/s
+	// bottleneck: app
+}
+
+// The paper's Section III argument: at 43% utilization, steady-state
+// queueing assigns essentially zero probability to a 3-second response.
+func ExampleVLRTOddsUnderQueueing() {
+	odds := analytic.VLRTOddsUnderQueueing(0.43, 750*time.Microsecond)
+	fmt.Println(odds < 1e-100)
+	// Output:
+	// true
+}

@@ -1,0 +1,28 @@
+package burst_test
+
+import (
+	"fmt"
+	"time"
+
+	"ctqosim/internal/burst"
+)
+
+// Fit the paper's burst-index-100 SysBursty workload: a rare hot state
+// carries the bursts while the long-run mean rate stays at the nominal
+// value.
+func ExampleFit() {
+	process, err := burst.Fit(33, 100, 0.01, 15*time.Second)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("mean rate: %.0f req/s\n", process.MeanRate())
+	fmt.Printf("index: %.0f\n", process.IndexAtInfinity())
+	fmt.Printf("hot episodes are brief: %v\n", process.HoldHot < time.Second)
+	fmt.Printf("hot rate is a burst: %v\n", process.RateHot > 10*process.RateCold)
+	// Output:
+	// mean rate: 33 req/s
+	// index: 100
+	// hot episodes are brief: true
+	// hot rate is a burst: true
+}

@@ -1,0 +1,129 @@
+package burst
+
+import (
+	"time"
+
+	"ctqosim/internal/des"
+	"ctqosim/internal/simnet"
+	"ctqosim/internal/workload"
+)
+
+// Generator drives an MMPP2 arrival process into a system frontend,
+// the open-loop counterpart of the paper's burst-index workloads.
+type Generator struct {
+	sim     *des.Simulator
+	front   workload.Frontend
+	process MMPP2
+	mix     *workload.Mix
+	sink    workload.Sink
+
+	hot      bool
+	stopped  bool
+	nextID   uint64
+	sent     int64
+	arrivals []time.Duration
+}
+
+// NewGenerator creates an MMPP generator; call Start to begin. A nil mix
+// defaults to the RUBBoS mix; sink may be nil.
+func NewGenerator(sim *des.Simulator, front workload.Frontend, process MMPP2, mix *workload.Mix, sink workload.Sink) (*Generator, error) {
+	if err := process.Validate(); err != nil {
+		return nil, err
+	}
+	if mix == nil {
+		mix = workload.DefaultMix()
+	}
+	return &Generator{
+		sim: sim, front: front, process: process, mix: mix, sink: sink,
+	}, nil
+}
+
+// Start begins in the cold state (hot with the stationary probability
+// would also be valid; cold keeps the first burst away from warm-up).
+func (g *Generator) Start() {
+	g.scheduleSwitch()
+	g.scheduleArrival()
+}
+
+// Stop halts arrivals and state switches.
+func (g *Generator) Stop() { g.stopped = true }
+
+// Sent returns the number of requests emitted.
+func (g *Generator) Sent() int64 { return g.sent }
+
+// Arrivals returns the emission timestamps, for index-of-dispersion
+// estimation.
+func (g *Generator) Arrivals() []time.Duration { return g.arrivals }
+
+func (g *Generator) rate() float64 {
+	if g.hot {
+		return g.process.RateHot
+	}
+	return g.process.RateCold
+}
+
+func (g *Generator) hold() time.Duration {
+	if g.hot {
+		return g.process.HoldHot
+	}
+	return g.process.HoldCold
+}
+
+func (g *Generator) scheduleSwitch() {
+	stay := time.Duration(g.sim.Rand().ExpFloat64() * float64(g.hold()))
+	g.sim.Schedule(stay, func() {
+		if g.stopped {
+			return
+		}
+		g.hot = !g.hot
+		g.scheduleSwitch()
+	})
+}
+
+// scheduleArrival draws the next arrival at the current state's rate.
+// Rate changes between arrivals are approximated by re-drawing from the
+// state in effect at scheduling time; with holding times much longer than
+// inter-arrival gaps the approximation error is negligible.
+func (g *Generator) scheduleArrival() {
+	rate := g.rate()
+	var gap time.Duration
+	if rate <= 0 {
+		// Idle state: poll for the next state switch at the holding
+		// timescale.
+		gap = g.hold()
+	} else {
+		gap = time.Duration(g.sim.Rand().ExpFloat64() / rate * float64(time.Second))
+	}
+	g.sim.Schedule(gap, func() {
+		if g.stopped {
+			return
+		}
+		if g.rate() > 0 {
+			g.fire()
+		}
+		g.scheduleArrival()
+	})
+}
+
+func (g *Generator) fire() {
+	req := &workload.Request{
+		ID:        g.nextID,
+		Class:     g.mix.Pick(g.sim.Rand()),
+		Submitted: g.sim.Now(),
+	}
+	g.nextID++
+	g.sent++
+	g.arrivals = append(g.arrivals, req.Submitted)
+
+	call := &simnet.Call{Payload: req}
+	finish := func(failed bool) {
+		req.Completed = g.sim.Now()
+		req.Failed = failed
+		if g.sink != nil {
+			g.sink.Record(req)
+		}
+	}
+	call.OnReply = func(any) { finish(false) }
+	call.OnGiveUp = func() { finish(true) }
+	g.front.Transport.Send(g.front.Target, call)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WriteCSVs exports a result's timelines and histogram into dir, one CSV
+// per figure panel:
+//
+//	queues.csv    — queued requests per server per sample (Figs. 3b, 5b, …)
+//	util.csv      — CPU utilization per VM per sample (Figs. 3a, 7a, …)
+//	iowait.csv    — I/O wait per VM per sample (Figs. 5a, 11a)
+//	vlrt.csv      — VLRT counts per window per dropping server (Figs. 3c, …)
+//	histogram.csv — response-time frequency per 100ms bin (Fig. 1)
+func WriteCSVs(res *Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("csv dir: %w", err)
+	}
+	tiers := res.System.TierNames()
+
+	queueCols := make([]namedSeries, 0, len(tiers))
+	utilCols := make([]namedSeries, 0, len(tiers)+1)
+	waitCols := make([]namedSeries, 0, len(tiers))
+	for _, tier := range tiers {
+		queueCols = append(queueCols, namedSeries{tier, res.Monitor.Queue(tier).Values})
+		utilCols = append(utilCols, namedSeries{tier, res.Monitor.Util(tier).Values})
+		waitCols = append(waitCols, namedSeries{tier, res.Monitor.IOWait(tier).Values})
+	}
+	if res.Bursty != nil {
+		name := res.Bursty.DB.Name()
+		utilCols = append(utilCols, namedSeries{name, res.Monitor.Util(name).Values})
+	}
+
+	interval := res.Config.SampleInterval
+	if err := writeSeriesCSV(filepath.Join(dir, "queues.csv"), interval, queueCols); err != nil {
+		return err
+	}
+	if err := writeSeriesCSV(filepath.Join(dir, "util.csv"), interval, utilCols); err != nil {
+		return err
+	}
+	if err := writeSeriesCSV(filepath.Join(dir, "iowait.csv"), interval, waitCols); err != nil {
+		return err
+	}
+	if err := writeVLRTCSV(filepath.Join(dir, "vlrt.csv"), res, tiers); err != nil {
+		return err
+	}
+	return writeHistogramCSV(filepath.Join(dir, "histogram.csv"), res)
+}
+
+type namedSeries struct {
+	name   string
+	values []float64
+}
+
+func writeSeriesCSV(path string, interval time.Duration, cols []namedSeries) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w := csv.NewWriter(f)
+	header := make([]string, 0, len(cols)+1)
+	header = append(header, "time_s")
+	maxLen := 0
+	for _, c := range cols {
+		header = append(header, c.name)
+		if len(c.values) > maxLen {
+			maxLen = len(c.values)
+		}
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(cols)+1)
+		t := time.Duration(i+1) * interval
+		row = append(row, strconv.FormatFloat(t.Seconds(), 'f', 3, 64))
+		for _, c := range cols {
+			v := 0.0
+			if i < len(c.values) {
+				v = c.values[i]
+			}
+			row = append(row, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeVLRTCSV(path string, res *Result, tiers []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w := csv.NewWriter(f)
+	header := append([]string{"time_s", "all"}, tiers...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	all := res.VLRTSeries("")
+	perTier := make([][]int, len(tiers))
+	for i, tier := range tiers {
+		perTier[i] = res.VLRTSeries(tier)
+	}
+	for i := range all {
+		row := make([]string, 0, len(tiers)+2)
+		t := res.Config.WarmUp + time.Duration(i)*res.Config.SampleInterval
+		row = append(row, strconv.FormatFloat(t.Seconds(), 'f', 3, 64))
+		row = append(row, strconv.Itoa(all[i]))
+		for _, series := range perTier {
+			v := 0
+			if i < len(series) {
+				v = series[i]
+			}
+			row = append(row, strconv.Itoa(v))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeHistogramCSV(path string, res *Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"rt_ms", "frequency"}); err != nil {
+		return err
+	}
+	h := res.Histogram()
+	for i := 0; i <= h.Bins(); i++ {
+		ms := h.BinStart(i).Milliseconds()
+		if err := w.Write([]string{
+			strconv.FormatInt(ms, 10),
+			strconv.FormatInt(h.Count(i), 10),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

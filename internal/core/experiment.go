@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ctqosim/internal/burst"
+	"ctqosim/internal/cpu"
+	"ctqosim/internal/des"
+	"ctqosim/internal/fault"
+	"ctqosim/internal/metrics"
+	"ctqosim/internal/ntier"
+	"ctqosim/internal/trace"
+	"ctqosim/internal/workload"
+)
+
+// sharedNodeName is the consolidated host of Fig. 2.
+const sharedNodeName = "consolidated-host"
+
+// Experiment is a configured, runnable reproduction scenario.
+type Experiment struct {
+	cfg Config
+}
+
+// New creates an experiment from cfg (missing fields take paper defaults).
+func New(cfg Config) *Experiment {
+	return &Experiment{cfg: cfg.withDefaults()}
+}
+
+// Config returns the defaulted configuration.
+func (e *Experiment) Config() Config { return e.cfg }
+
+// Run executes the experiment to completion and assembles the result.
+func (e *Experiment) Run() (*Result, error) {
+	cfg := e.cfg
+	sim := des.NewSimulator(cfg.Seed)
+	cluster := ntier.NewCluster(sim)
+
+	// --- steady system spec -------------------------------------------
+	spec := ntier.Spec("steady", cfg.NX)
+	if cfg.AppCores > 0 {
+		spec.App.Cores = cfg.AppCores
+	}
+	if cfg.ThreadOverride > 0 {
+		for _, t := range []*ntier.TierSpec{&spec.Web, &spec.App, &spec.DB} {
+			if t.Arch == ntier.Sync {
+				t.Threads = cfg.ThreadOverride
+			}
+		}
+	}
+	if cfg.OverheadPerThread > 0 {
+		spec.Web.OverheadPerThread = cfg.OverheadPerThread
+		spec.App.OverheadPerThread = cfg.OverheadPerThread
+		spec.DB.OverheadPerThread = cfg.OverheadPerThread
+	}
+	if cfg.Kernel != nil {
+		for _, t := range []*ntier.TierSpec{&spec.Web, &spec.App, &spec.DB} {
+			if t.Arch == ntier.Sync {
+				t.Backlog = cfg.Kernel.Backlog
+			}
+		}
+	}
+
+	var consolidation ConsolidationSpec
+	if cfg.Consolidation != nil {
+		consolidation = cfg.Consolidation.withDefaults()
+		switch consolidation.Tier {
+		case TierWeb:
+			spec.Web.Node = sharedNodeName
+		case TierDB:
+			spec.DB.Node = sharedNodeName
+		default:
+			spec.App.Node = sharedNodeName
+		}
+	}
+	if cfg.Tweak != nil {
+		cfg.Tweak(&spec)
+	}
+
+	steady := cluster.Build(spec)
+	if cfg.Kernel != nil {
+		cfg.Kernel.Apply(steady.Transport)
+	}
+	if cfg.RTO > 0 {
+		steady.Transport.RTO = cfg.RTO
+	}
+	if cfg.MaxAttempts > 0 {
+		steady.Transport.MaxAttempts = cfg.MaxAttempts
+	}
+	if cfg.Backoff {
+		steady.Transport.Backoff = true
+	}
+	if cfg.NetLatency > 0 {
+		steady.Transport.Latency = cfg.NetLatency
+	}
+
+	// --- monitoring ----------------------------------------------------
+	mon := metrics.NewMonitor(sim, cfg.SampleInterval)
+	for _, srv := range steady.Servers() {
+		mon.WatchServer(srv)
+	}
+	for i, vm := range steady.VMs() {
+		mon.WatchVM(steady.TierNames()[i], vm)
+	}
+
+	var log *trace.Log
+	if cfg.Trace {
+		log = trace.NewLog(sim)
+		steady.Transport.Listener = log
+	}
+
+	// --- steady workload -----------------------------------------------
+	rec := metrics.NewRecorder()
+	rec.WarmUp = cfg.WarmUp
+	cl := workload.NewClosedLoop(sim, steady.Frontend(), workload.ClosedLoopConfig{
+		Clients:   cfg.Clients,
+		ThinkTime: cfg.ThinkTime,
+		Mix:       cfg.Mix,
+		Burst:     cfg.Burst,
+		Sink:      rec,
+	})
+	cl.Start()
+
+	// --- consolidation co-tenant ----------------------------------------
+	var bursty *ntier.System
+	if cfg.Consolidation != nil {
+		bursty = cluster.Build(ntier.BurstySpec("bursty", "mysql", sharedNodeName))
+		// The shared core time-slices among runnable threads, so the
+		// co-tenant's batch effectively stops the steady tier (§IV-A).
+		bursty.DBVM.Node().SetPolicy(cpu.JobProportional)
+		mon.WatchVM(bursty.DB.Name(), bursty.DBVM)
+
+		if consolidation.MMPPIndex > 1 {
+			if err := startMMPPBursty(sim, bursty, consolidation); err != nil {
+				return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+			}
+		} else {
+			// Each train element is its own periodic batch, offset by the
+			// train spacing; all share the burst interval. The first train
+			// starts one interval in (or at BatchOffset if given).
+			base := consolidation.BatchOffset
+			if base <= 0 {
+				base = consolidation.BatchInterval
+			}
+			for k := 0; k < consolidation.TrainLength; k++ {
+				batch := workload.NewBatch(sim, bursty.Frontend(), workload.BatchConfig{
+					Size:     consolidation.BatchSize,
+					Interval: consolidation.BatchInterval,
+					Offset:   base + time.Duration(k)*consolidation.TrainSpacing,
+					Class:    *consolidation.BatchClass,
+				})
+				batch.Start()
+			}
+		}
+	}
+
+	// --- I/O millibottleneck ---------------------------------------------
+	if cfg.LogFlush != nil {
+		lf := cfg.LogFlush.withDefaults()
+		vm := steady.DBVM
+		switch lf.Tier {
+		case TierWeb:
+			vm = steady.WebVM
+		case TierApp:
+			vm = steady.AppVM
+		}
+		fault.NewLogFlush(sim, vm, lf.Interval, lf.Duration).Start()
+	}
+
+	// --- GC millibottleneck -----------------------------------------------
+	if cfg.GCPause != nil {
+		gc := cfg.GCPause.withDefaults()
+		vm, srv := steady.AppVM, steady.App
+		switch gc.Tier {
+		case TierWeb:
+			vm, srv = steady.WebVM, steady.Web
+		case TierDB:
+			vm, srv = steady.DBVM, steady.DB
+		}
+		fault.NewGCPause(sim, vm, gc.Interval, gc.Base, gc.PerRequest,
+			srv.InService).Start()
+	}
+
+	mon.Start()
+
+	// --- run -------------------------------------------------------------
+	end := cfg.WarmUp + cfg.Duration
+	if err := sim.Run(end); err != nil && err != des.ErrHorizon {
+		return nil, fmt.Errorf("simulate %s: %w", cfg.Name, err)
+	}
+
+	// --- assemble ----------------------------------------------------------
+	res := &Result{
+		Config:         cfg,
+		System:         steady,
+		Bursty:         bursty,
+		Recorder:       rec,
+		Monitor:        mon,
+		TraceLog:       log,
+		End:            end,
+		Throughput:     rec.Throughput(end),
+		TotalDrops:     steady.TotalDrops(),
+		DropsPerServer: make(map[string]int64),
+		VLRTCount:      rec.VLRTCount(),
+	}
+	for _, name := range steady.Transport.Destinations() {
+		if d := steady.Transport.Stats(name).Dropped; d > 0 {
+			res.DropsPerServer[name] = d
+		}
+	}
+	if cfg.Trace {
+		analyzer := &trace.Analyzer{
+			Tiers:    steady.TierNames(),
+			TierOfVM: tierOfVM(steady),
+		}
+		res.Report = analyzer.Analyze(mon, steady.TierNames(), log)
+	}
+	return res, nil
+}
+
+// startMMPPBursty drives SysBursty with a Markov-modulated Poisson
+// process: long cold stretches at a trickle, rare hot epochs whose rate is
+// high enough that the co-tenant's CPU backlog saturates the shared core —
+// the stochastic original of the deterministic batches.
+func startMMPPBursty(sim *des.Simulator, bursty *ntier.System, spec ConsolidationSpec) error {
+	meanRate := float64(spec.BatchSize) / spec.BatchInterval.Seconds()
+	process, err := burst.Fit(meanRate, spec.MMPPIndex,
+		0.01 /* hot fraction */, spec.BatchInterval)
+	if err != nil {
+		return fmt.Errorf("mmpp bursty: %w", err)
+	}
+	mix := workload.NewMix().Add(*spec.BatchClass, 1)
+	gen, err := burst.NewGenerator(sim, bursty.Frontend(), process, mix, nil)
+	if err != nil {
+		return fmt.Errorf("mmpp bursty: %w", err)
+	}
+	gen.Start()
+	return nil
+}
+
+// tierOfVM maps VM names to tier names; the monitor registers VMs under
+// their tier names, so the map is the identity over the tier set.
+func tierOfVM(sys *ntier.System) map[string]string {
+	out := make(map[string]string, 3)
+	for _, name := range sys.TierNames() {
+		out[name] = name
+	}
+	return out
+}
+
+// Summary renders the headline numbers of a result.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s, WL %d]\n", r.Config.Name, r.Config.NX, r.Config.Clients)
+	fmt.Fprintf(&b, "  throughput: %.0f req/s over %v\n",
+		r.Throughput, r.Config.Duration)
+	name, util := r.HighestMeanUtil()
+	fmt.Fprintf(&b, "  highest avg CPU util: %.0f%% (%s)\n", util*100, name)
+	fmt.Fprintf(&b, "  requests: %d, VLRT (>3s): %d, failed: %d\n",
+		r.Recorder.Len(), r.VLRTCount, r.Recorder.FailedCount())
+	fmt.Fprintf(&b, "  dropped packets: %d", r.TotalDrops)
+	if len(r.DropsPerServer) > 0 {
+		parts := make([]string, 0, len(r.DropsPerServer))
+		for _, tier := range r.System.TierNames() {
+			if d, ok := r.DropsPerServer[tier]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%d", tier, d))
+			}
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  p50=%v p99=%v p99.9=%v max=%v\n",
+		r.Recorder.Percentile(0.50).Round(time.Millisecond),
+		r.Recorder.Percentile(0.99).Round(time.Millisecond),
+		r.Recorder.Percentile(0.999).Round(time.Millisecond),
+		r.Recorder.Percentile(1).Round(time.Millisecond))
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// SummaryJSON is the machine-readable form of a Result, stable for
+// downstream tooling.
+type SummaryJSON struct {
+	Name             string             `json:"name"`
+	Architecture     string             `json:"architecture"`
+	Clients          int                `json:"clients"`
+	Seed             int64              `json:"seed"`
+	WarmUpSeconds    float64            `json:"warmUpSeconds"`
+	DurationSeconds  float64            `json:"durationSeconds"`
+	ThroughputReqS   float64            `json:"throughputReqS"`
+	Requests         int                `json:"requests"`
+	VLRT             int                `json:"vlrt"`
+	Failed           int                `json:"failed"`
+	TotalDrops       int64              `json:"totalDrops"`
+	DropsPerServer   map[string]int64   `json:"dropsPerServer,omitempty"`
+	MeanMillis       float64            `json:"meanMillis"`
+	P50Millis        float64            `json:"p50Millis"`
+	P99Millis        float64            `json:"p99Millis"`
+	P999Millis       float64            `json:"p999Millis"`
+	MaxMillis        float64            `json:"maxMillis"`
+	MeanUtilByTier   map[string]float64 `json:"meanUtilByTier"`
+	PeakQueueByTier  map[string]float64 `json:"peakQueueByTier"`
+	ClustersSeconds  []int              `json:"clustersSeconds,omitempty"`
+	CTQOEpisodes     int                `json:"ctqoEpisodes"`
+	CTQODirections   map[string]int     `json:"ctqoDirections,omitempty"`
+	HistogramBinMS   int64              `json:"histogramBinMs"`
+	HistogramCounts  []int64            `json:"histogramCounts"`
+	HistogramOverMax int64              `json:"histogramOverflow"`
+}
+
+// Summarize builds the machine-readable summary of a result.
+func Summarize(res *Result) SummaryJSON {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	out := SummaryJSON{
+		Name:            res.Config.Name,
+		Architecture:    res.Config.NX.String(),
+		Clients:         res.Config.Clients,
+		Seed:            res.Config.Seed,
+		WarmUpSeconds:   res.Config.WarmUp.Seconds(),
+		DurationSeconds: res.Config.Duration.Seconds(),
+		ThroughputReqS:  res.Throughput,
+		Requests:        res.Recorder.Len(),
+		VLRT:            res.VLRTCount,
+		Failed:          res.Recorder.FailedCount(),
+		TotalDrops:      res.TotalDrops,
+		DropsPerServer:  res.DropsPerServer,
+		MeanMillis:      ms(res.Recorder.Mean()),
+		P50Millis:       ms(res.Recorder.Percentile(0.50)),
+		P99Millis:       ms(res.Recorder.Percentile(0.99)),
+		P999Millis:      ms(res.Recorder.Percentile(0.999)),
+		MaxMillis:       ms(res.Recorder.Percentile(1)),
+		MeanUtilByTier:  make(map[string]float64, 3),
+		PeakQueueByTier: make(map[string]float64, 3),
+		ClustersSeconds: res.Histogram().ModeClusters(0.0005),
+	}
+	for _, tier := range res.System.TierNames() {
+		out.MeanUtilByTier[tier] = res.MeanUtil(tier)
+		out.PeakQueueByTier[tier] = res.QueueSeries(tier).Max()
+	}
+	if res.Report != nil {
+		out.CTQODirections = make(map[string]int)
+		for _, ep := range res.Report.CTQOEpisodes() {
+			out.CTQOEpisodes++
+			out.CTQODirections[ep.Direction.String()]++
+		}
+	}
+	h := res.Histogram()
+	out.HistogramBinMS = h.BinWidth().Milliseconds()
+	out.HistogramCounts = make([]int64, h.Bins())
+	for i := 0; i < h.Bins(); i++ {
+		out.HistogramCounts[i] = h.Count(i)
+	}
+	out.HistogramOverMax = h.Count(h.Bins())
+	return out
+}
+
+// JSON renders the result summary as indented JSON.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(Summarize(r), "", "  ")
+}

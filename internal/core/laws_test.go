@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ctqosim/internal/ntier"
+	"ctqosim/internal/workload"
+)
+
+// TestOperationalLaws validates the simulator against the operational laws
+// of queueing theory, which hold for ANY system regardless of
+// distributional assumptions:
+//
+//	Utilization law:  U_i = X_i × S_i  (CPU consumed = completions × demand)
+//	Little's law:     N̄_i = X_i × R̄_i (mean queue = throughput × residence)
+//
+// The utilization law is checked exactly from the CPU accounting; Little's
+// law is checked at the whole-system level from the recorder.
+func TestOperationalLaws(t *testing.T) {
+	cfg := Config{
+		Name:     "laws",
+		NX:       ntier.NX0,
+		Clients:  5000,
+		WarmUp:   5 * time.Second,
+		Duration: 40 * time.Second,
+	}
+	res := mustRun(t, cfg)
+	horizon := res.End.Seconds()
+
+	// Utilization law per tier: core-seconds consumed over the whole run
+	// must equal completions × mean demand per completion.
+	web, app, db := workload.DefaultMix().MeanDemands()
+	demands := map[string]time.Duration{
+		"steady-apache": web,
+		"steady-tomcat": app,
+		"steady-mysql":  db,
+	}
+	// Demands are per end-to-end request (DB demand already folds in the
+	// per-request query count), so the request count is the web tier's
+	// completions throughout.
+	requests := float64(res.System.Web.Stats().Completed)
+	names := res.System.TierNames()
+	for i, vm := range res.System.VMs() {
+		name := names[i]
+		consumed := vm.Usage().CPUSeconds
+		expected := requests * demands[name].Seconds()
+		if relErr(consumed, expected) > 0.08 {
+			t.Errorf("%s: utilization law violated: consumed %.2f core-s over %.0fs, X·S = %.2f",
+				name, consumed, horizon, expected)
+		}
+	}
+
+	// Little's law for the whole closed system: clients = X × (R̄ + Z̄).
+	x := res.Throughput
+	rMean := res.Recorder.Mean().Seconds()
+	z := cfg.ThinkTime.Seconds()
+	if z == 0 {
+		z = workload.DefaultThinkTime.Seconds()
+	}
+	implied := x * (rMean + z)
+	if relErr(implied, float64(cfg.Clients)) > 0.05 {
+		t.Errorf("Little's law violated: X(R+Z) = %.0f, clients = %d", implied, cfg.Clients)
+	}
+}
+
+// TestLittlesLawPerTierQueue checks N̄ = X·R̄ at the app tier using the
+// monitored queue depth: mean depth ≈ throughput × mean residence there.
+// Residence is estimated from the demand under light contention.
+func TestLittlesLawPerTierQueue(t *testing.T) {
+	res := mustRun(t, Config{
+		Name:     "little-tier",
+		NX:       ntier.NX0,
+		Clients:  3000, // ~43% load: low contention keeps R ≈ S·(1/(1-ρ))
+		WarmUp:   5 * time.Second,
+		Duration: 40 * time.Second,
+	})
+	meanDepth := res.Monitor.Queue("steady-tomcat").MeanOver(res.Config.WarmUp, res.End)
+
+	_, app, _ := workload.DefaultMix().MeanDemands()
+	x := res.Throughput * 0.8 // dynamic fraction of requests reach the app tier
+	rho := res.MeanUtil("steady-tomcat")
+	residence := app.Seconds() / math.Max(1-rho, 0.05) // M/M/1-ish estimate
+	implied := x * residence
+
+	// Loose bound: the estimate is approximate, but must be the right
+	// order of magnitude and side.
+	if meanDepth < implied*0.3 || meanDepth > implied*3 {
+		t.Errorf("Little check off: mean depth %.2f vs X·R %.2f (rho=%.2f)",
+			meanDepth, implied, rho)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ctqosim/internal/ntier"
+	"ctqosim/internal/trace"
+)
+
+// MatrixCell is one cell of the CTQO matrix: an architecture level crossed
+// with a millibottleneck location and kind.
+type MatrixCell struct {
+	// NX is the architecture level.
+	NX ntier.NX
+	// Bottleneck is the tier where the millibottleneck is injected.
+	Bottleneck Tier
+	// Kind is "cpu" (consolidation) or "io" (log flush).
+	Kind string
+
+	// Drops counts dropped packets per server.
+	Drops map[string]int64
+	// VLRT is the number of >3s requests.
+	VLRT int
+	// Direction summarizes the CTQO classification across episodes.
+	Direction trace.Direction
+	// DropSite is the tier that dropped most packets, or "" if none.
+	DropSite string
+}
+
+// MatrixConfig tunes the sweep.
+type MatrixConfig struct {
+	// Clients is the steady population; zero defaults to 7000.
+	Clients int
+	// Duration per cell; zero defaults to 45s.
+	Duration time.Duration
+	// Levels restricts the NX levels; empty runs all four.
+	Levels []ntier.NX
+	// Kinds restricts the millibottleneck kinds; empty runs cpu and io.
+	Kinds []string
+	// Seed for every cell; zero defaults to 1.
+	Seed int64
+}
+
+// RunCTQOMatrix runs the full evaluation grid of the paper's Section IV/V —
+// every architecture level against millibottlenecks in the app and db
+// tiers, both CPU and I/O — and returns one row per cell. It is the
+// conclusion's upstream/downstream summary, computed.
+func RunCTQOMatrix(cfg MatrixConfig) ([]MatrixCell, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 7000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 45 * time.Second
+	}
+	levels := cfg.Levels
+	if len(levels) == 0 {
+		levels = []ntier.NX{ntier.NX0, ntier.NX1, ntier.NX2, ntier.NX3}
+	}
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = []string{"cpu", "io"}
+	}
+
+	var out []MatrixCell
+	for _, level := range levels {
+		for _, kind := range kinds {
+			for _, tier := range []Tier{TierApp, TierDB} {
+				cell, err := runCell(cfg, level, tier, kind)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+func runCell(cfg MatrixConfig, level ntier.NX, tier Tier, kind string) (MatrixCell, error) {
+	expCfg := Config{
+		Name:     fmt.Sprintf("matrix NX=%d %s %s", level, kind, tier),
+		NX:       level,
+		Clients:  cfg.Clients,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+		Trace:    true,
+	}
+	switch kind {
+	case "io":
+		expCfg.LogFlush = &LogFlushSpec{Tier: tier}
+		if tier == TierDB {
+			expCfg.AppCores = 4
+		}
+	default:
+		// The deeper Fig. 9 burst is used uniformly so every cell sees the
+		// identical millibottleneck; NX=3 absorbs even this one.
+		expCfg.Consolidation = &ConsolidationSpec{Tier: tier, BatchSize: 600}
+	}
+	res, err := New(expCfg).Run()
+	if err != nil {
+		return MatrixCell{}, err
+	}
+
+	cell := MatrixCell{
+		NX:         level,
+		Bottleneck: tier,
+		Kind:       kind,
+		Drops:      res.DropsPerServer,
+		VLRT:       res.VLRTCount,
+		Direction:  overallDirection(res),
+		DropSite:   dominantDropSite(res),
+	}
+	return cell, nil
+}
+
+// overallDirection folds the per-episode classifications into one label.
+func overallDirection(res *Result) trace.Direction {
+	up, down := false, false
+	for _, ep := range res.Report.CTQOEpisodes() {
+		switch ep.Direction {
+		case trace.DirectionUpstream:
+			up = true
+		case trace.DirectionDownstream:
+			down = true
+		case trace.DirectionBoth:
+			up, down = true, true
+		}
+	}
+	switch {
+	case up && down:
+		return trace.DirectionBoth
+	case up:
+		return trace.DirectionUpstream
+	case down:
+		return trace.DirectionDownstream
+	default:
+		return trace.DirectionNone
+	}
+}
+
+func dominantDropSite(res *Result) string {
+	var best string
+	var bestN int64
+	for _, tier := range res.System.TierNames() {
+		if d := res.DropsPerServer[tier]; d > bestN {
+			bestN, best = d, tier
+		}
+	}
+	return best
+}
+
+// FormatMatrix renders the matrix as an aligned text table.
+func FormatMatrix(cells []MatrixCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-4s %-5s %-8s %-18s %s\n",
+		"configuration", "kind", "where", "VLRT", "drop site", "classification")
+	for _, c := range cells {
+		site := c.DropSite
+		if site == "" {
+			site = "-"
+		}
+		fmt.Fprintf(&b, "%-22s %-4s %-5s %-8d %-18s %s\n",
+			c.NX, c.Kind, c.Bottleneck, c.VLRT, site, c.Direction)
+	}
+	return b.String()
+}

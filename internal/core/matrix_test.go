@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctqosim/internal/ntier"
+	"ctqosim/internal/trace"
+)
+
+func TestCTQOMatrixSyncVsAsync(t *testing.T) {
+	// The conclusion's summary, computed: the fully synchronous system
+	// suffers CTQO from a CPU millibottleneck in either tier; the fully
+	// asynchronous one never does.
+	cells, err := RunCTQOMatrix(MatrixConfig{
+		Duration: 35 * time.Second,
+		Levels:   []ntier.NX{ntier.NX0, ntier.NX3},
+		Kinds:    []string{"cpu"},
+	})
+	if err != nil {
+		t.Fatalf("RunCTQOMatrix: %v", err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4 (2 levels × 2 tiers)", len(cells))
+	}
+	for _, c := range cells {
+		switch c.NX {
+		case ntier.NX0:
+			if c.VLRT == 0 || c.Direction == trace.DirectionNone {
+				t.Errorf("NX0 %s/%s: VLRT=%d direction=%v, want CTQO",
+					c.Kind, c.Bottleneck, c.VLRT, c.Direction)
+			}
+			if c.DropSite == "" {
+				t.Errorf("NX0 %s/%s: no drop site", c.Kind, c.Bottleneck)
+			}
+		case ntier.NX3:
+			if c.VLRT != 0 || c.Direction != trace.DirectionNone {
+				t.Errorf("NX3 %s/%s: VLRT=%d direction=%v, want none",
+					c.Kind, c.Bottleneck, c.VLRT, c.Direction)
+			}
+		}
+	}
+}
+
+func TestCTQOMatrixDropSiteMigration(t *testing.T) {
+	// App-tier CPU millibottleneck: the drop site must move down the
+	// chain as tiers become asynchronous — Apache (NX0), Tomcat (NX1),
+	// MySQL (NX2), nowhere (NX3).
+	cells, err := RunCTQOMatrix(MatrixConfig{
+		Duration: 35 * time.Second,
+		Kinds:    []string{"cpu"},
+	})
+	if err != nil {
+		t.Fatalf("RunCTQOMatrix: %v", err)
+	}
+	want := map[ntier.NX]string{
+		ntier.NX0: "steady-apache",
+		ntier.NX1: "steady-tomcat",
+		ntier.NX2: "steady-mysql",
+		ntier.NX3: "",
+	}
+	for _, c := range cells {
+		if c.Bottleneck != TierApp {
+			continue
+		}
+		if c.DropSite != want[c.NX] {
+			t.Errorf("NX%d app bottleneck: drop site %q, want %q",
+				c.NX, c.DropSite, want[c.NX])
+		}
+	}
+}
+
+func TestFormatMatrix(t *testing.T) {
+	cells := []MatrixCell{
+		{NX: ntier.NX0, Bottleneck: TierApp, Kind: "cpu",
+			VLRT: 42, DropSite: "steady-apache", Direction: trace.DirectionUpstream},
+		{NX: ntier.NX3, Bottleneck: TierDB, Kind: "io",
+			Direction: trace.DirectionNone},
+	}
+	s := FormatMatrix(cells)
+	for _, want := range []string{"Apache-Tomcat-MySQL", "steady-apache", "upstream CTQO", "no CTQO", "42"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("matrix missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCTQOMatrixIOKind(t *testing.T) {
+	// The I/O-stall column of the grid: the synchronous system suffers
+	// CTQO from a DB log flush; the asynchronous one does not.
+	cells, err := RunCTQOMatrix(MatrixConfig{
+		Duration: 35 * time.Second,
+		Levels:   []ntier.NX{ntier.NX0, ntier.NX3},
+		Kinds:    []string{"io"},
+	})
+	if err != nil {
+		t.Fatalf("RunCTQOMatrix: %v", err)
+	}
+	for _, c := range cells {
+		if c.Bottleneck != TierDB {
+			continue
+		}
+		switch c.NX {
+		case ntier.NX0:
+			if c.VLRT == 0 || c.DropSite == "" {
+				t.Errorf("NX0 io/db: VLRT=%d dropSite=%q, want CTQO", c.VLRT, c.DropSite)
+			}
+		case ntier.NX3:
+			if c.VLRT != 0 {
+				t.Errorf("NX3 io/db: VLRT=%d, want 0", c.VLRT)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// Prediction is the outcome of the Section III arithmetic model.
+type Prediction struct {
+	// Arrivals is the number of requests arriving during the
+	// millibottleneck (rate × duration).
+	Arrivals int
+	// Capacity is the server's MaxSysQDepth (threads + TCP backlog) or
+	// LiteQDepth.
+	Capacity int
+	// Dropped is max(0, Arrivals − Capacity): the packets the model
+	// expects the server to drop.
+	Dropped int
+}
+
+// Overflows reports whether the model predicts dropped packets.
+func (p Prediction) Overflows() bool { return p.Dropped > 0 }
+
+// PredictOverflow evaluates the paper's static/dynamic-condition model
+// (Section III): a millibottleneck of the given duration, under the given
+// request arrival rate (req/s), against a server that can hold capacity
+// requests. The paper's illustrative numbers — 1000 req/s × 0.4s = 400
+// arrivals against 150+128 = 278 — predict 122 drops.
+//
+// The model assumes the bottlenecked server processes nothing during the
+// millibottleneck, which Section IV shows holds for the consolidated-core
+// and I/O-stall cases.
+func PredictOverflow(rate float64, duration time.Duration, capacity int) Prediction {
+	if rate < 0 {
+		rate = 0
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	arrivals := int(rate * duration.Seconds())
+	dropped := arrivals - capacity
+	if dropped < 0 {
+		dropped = 0
+	}
+	return Prediction{Arrivals: arrivals, Capacity: capacity, Dropped: dropped}
+}
+
+// MinBurstForOverflow inverts the model: the shortest millibottleneck that
+// overflows the given capacity at the given arrival rate. It returns zero
+// if the rate is non-positive.
+func MinBurstForOverflow(rate float64, capacity int) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	seconds := float64(capacity+1) / rate
+	d := time.Duration(math.Ceil(seconds * float64(time.Second)))
+	// Bump past any floating-point truncation so the forward model agrees.
+	for !PredictOverflow(rate, d, capacity).Overflows() {
+		d += time.Nanosecond
+	}
+	return d
+}

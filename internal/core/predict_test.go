@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPredictOverflowPaperExample(t *testing.T) {
+	// Section III: 1000 req/s × 0.4s = 400 arrivals against 150+128=278.
+	p := PredictOverflow(1000, 400*time.Millisecond, 278)
+	if p.Arrivals != 400 {
+		t.Fatalf("Arrivals = %d, want 400", p.Arrivals)
+	}
+	if !p.Overflows() {
+		t.Fatal("paper's example must overflow")
+	}
+	if p.Dropped != 122 {
+		t.Fatalf("Dropped = %d, want 122", p.Dropped)
+	}
+}
+
+func TestPredictOverflowNoOverflow(t *testing.T) {
+	p := PredictOverflow(500, 400*time.Millisecond, 278)
+	if p.Overflows() || p.Dropped != 0 {
+		t.Fatalf("200 arrivals against 278 must not overflow: %+v", p)
+	}
+}
+
+func TestPredictOverflowNegativeInputs(t *testing.T) {
+	p := PredictOverflow(-5, time.Second, -3)
+	if p.Arrivals != 0 || p.Capacity != 0 || p.Dropped != 0 {
+		t.Fatalf("negative inputs not clamped: %+v", p)
+	}
+}
+
+func TestMinBurstForOverflow(t *testing.T) {
+	// At 1000 req/s, overflowing 278 takes 279 arrivals → 279ms.
+	got := MinBurstForOverflow(1000, 278)
+	if got != 279*time.Millisecond {
+		t.Fatalf("MinBurstForOverflow = %v, want 279ms", got)
+	}
+	if MinBurstForOverflow(0, 278) != 0 {
+		t.Fatal("zero rate must return 0")
+	}
+}
+
+// Property: the inverse model is consistent with the forward model — a
+// burst one step shorter than MinBurstForOverflow never overflows, the
+// returned burst always does.
+func TestPropertyPredictInverse(t *testing.T) {
+	f := func(rate16 uint16, cap16 uint16) bool {
+		rate := float64(rate16%5000) + 1
+		capacity := int(cap16 % 2000)
+		minBurst := MinBurstForOverflow(rate, capacity)
+		if !PredictOverflow(rate, minBurst, capacity).Overflows() {
+			return false
+		}
+		shorter := minBurst - minBurst/100 - time.Millisecond
+		if shorter <= 0 {
+			return true
+		}
+		p := PredictOverflow(rate, shorter, capacity)
+		return p.Dropped <= 1 // rounding may allow at most a single drop
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,22 @@
+package core
+
+// Scenarios returns the named scenario registry shared by the CLI tools
+// and tests: every paper figure plus the extension scenarios.
+func Scenarios() map[string]Config {
+	return map[string]Config{
+		"fig1-wl4000":    Figure1Config(4000),
+		"fig1-wl7000":    Figure1Config(7000),
+		"fig1-wl8000":    Figure1Config(8000),
+		"fig3":           Figure3Config(),
+		"fig5":           Figure5Config(),
+		"fig7":           Figure7Config(),
+		"fig8":           Figure8Config(),
+		"fig9":           Figure9Config(),
+		"fig10":          Figure10Config(),
+		"fig11":          Figure11Config(),
+		"nx1-mysql":      NX1MySQLBottleneckConfig(),
+		"async-highutil": AsyncHighUtilConfig(),
+		"gc-sync":        GCMillibottleneckConfig(0),
+		"gc-async":       GCMillibottleneckConfig(3),
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MeanCI is a sample mean with a 95% confidence half-width.
+type MeanCI struct {
+	// Mean is the sample mean.
+	Mean float64
+	// HalfWidth is the 95% confidence interval half-width (Student's t).
+	HalfWidth float64
+	// N is the number of replications.
+	N int
+}
+
+// Low and High bound the 95% interval.
+func (m MeanCI) Low() float64 { return m.Mean - m.HalfWidth }
+
+// High returns the upper bound of the 95% interval.
+func (m MeanCI) High() float64 { return m.Mean + m.HalfWidth }
+
+// String implements fmt.Stringer.
+func (m MeanCI) String() string {
+	return fmt.Sprintf("%.1f ± %.1f (n=%d)", m.Mean, m.HalfWidth, m.N)
+}
+
+// ReplicationStats aggregates independent replications of one experiment.
+type ReplicationStats struct {
+	// Throughput is req/s across replications.
+	Throughput MeanCI
+	// VLRT is VLRT requests per run.
+	VLRT MeanCI
+	// Drops is dropped packets per run.
+	Drops MeanCI
+	// P99Millis is the 99th-percentile response time per run.
+	P99Millis MeanCI
+	// Seeds lists the seeds used.
+	Seeds []int64
+}
+
+// RunReplications runs the experiment n times with seeds baseSeed+0..n-1
+// and returns cross-replication statistics — the standard methodology for
+// reporting simulation results with confidence intervals.
+func RunReplications(cfg Config, n int) (ReplicationStats, error) {
+	if n < 1 {
+		n = 1
+	}
+	cfg = cfg.withDefaults()
+	var (
+		tputs, vlrts, drops, p99s []float64
+		seeds                     []int64
+	)
+	for i := 0; i < n; i++ {
+		seed := cfg.Seed + int64(i)
+		runCfg := cfg
+		runCfg.Seed = seed
+		res, err := New(runCfg).Run()
+		if err != nil {
+			return ReplicationStats{}, fmt.Errorf("replication %d: %w", i, err)
+		}
+		seeds = append(seeds, seed)
+		tputs = append(tputs, res.Throughput)
+		vlrts = append(vlrts, float64(res.VLRTCount))
+		drops = append(drops, float64(res.TotalDrops))
+		p99s = append(p99s, float64(res.Recorder.Percentile(0.99).Milliseconds()))
+	}
+	return ReplicationStats{
+		Throughput: meanCI(tputs),
+		VLRT:       meanCI(vlrts),
+		Drops:      meanCI(drops),
+		P99Millis:  meanCI(p99s),
+		Seeds:      seeds,
+	}, nil
+}
+
+// meanCI computes a 95% Student's-t confidence interval.
+func meanCI(xs []float64) MeanCI {
+	n := len(xs)
+	if n == 0 {
+		return MeanCI{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return MeanCI{Mean: mean, N: 1}
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	stderr := math.Sqrt(sq / float64(n-1) / float64(n))
+	return MeanCI{Mean: mean, HalfWidth: tValue95(n-1) * stderr, N: n}
+}
+
+// tValue95 returns the two-sided 95% Student's t critical value.
+func tValue95(df int) float64 {
+	// Table for small degrees of freedom; 1.96 asymptotically.
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+		2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+		2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}

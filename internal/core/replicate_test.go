@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunReplications(t *testing.T) {
+	cfg := shorten(Figure3Config(), 20*time.Second)
+	cfg.Trace = false
+	stats, err := RunReplications(cfg, 3)
+	if err != nil {
+		t.Fatalf("RunReplications: %v", err)
+	}
+	if len(stats.Seeds) != 3 {
+		t.Fatalf("seeds = %v", stats.Seeds)
+	}
+	if stats.Seeds[0] == stats.Seeds[1] {
+		t.Fatal("replications reused a seed")
+	}
+	if stats.Throughput.N != 3 {
+		t.Fatalf("N = %d", stats.Throughput.N)
+	}
+	if stats.Throughput.Mean < 900 || stats.Throughput.Mean > 1100 {
+		t.Fatalf("mean throughput = %v", stats.Throughput.Mean)
+	}
+	if stats.Drops.Mean <= 0 {
+		t.Fatal("mean drops should be positive in the Fig. 3 scenario")
+	}
+	if stats.Throughput.Low() > stats.Throughput.Mean ||
+		stats.Throughput.High() < stats.Throughput.Mean {
+		t.Fatal("CI does not bracket the mean")
+	}
+}
+
+func TestRunReplicationsSingle(t *testing.T) {
+	cfg := shorten(Config{Name: "tiny", Clients: 50, WarmUp: time.Second}, 3*time.Second)
+	stats, err := RunReplications(cfg, 1)
+	if err != nil {
+		t.Fatalf("RunReplications: %v", err)
+	}
+	if stats.Throughput.HalfWidth != 0 {
+		t.Fatalf("single replication half-width = %v, want 0", stats.Throughput.HalfWidth)
+	}
+}
+
+func TestRunReplicationsClampsN(t *testing.T) {
+	cfg := shorten(Config{Name: "tiny", Clients: 10, WarmUp: time.Second}, 2*time.Second)
+	stats, err := RunReplications(cfg, 0)
+	if err != nil {
+		t.Fatalf("RunReplications: %v", err)
+	}
+	if len(stats.Seeds) != 1 {
+		t.Fatalf("n=0 should clamp to 1, got %d", len(stats.Seeds))
+	}
+}
+
+func TestMeanCIString(t *testing.T) {
+	s := MeanCI{Mean: 990.4, HalfWidth: 12.3, N: 5}.String()
+	if !strings.Contains(s, "990.4") || !strings.Contains(s, "n=5") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestMeanCIKnownValue(t *testing.T) {
+	// {1,2,3}: mean 2, sd 1, stderr 1/sqrt(3), t(2)=4.303.
+	ci := meanCI([]float64{1, 2, 3})
+	if ci.Mean != 2 {
+		t.Fatalf("mean = %v", ci.Mean)
+	}
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(ci.HalfWidth-want) > 1e-9 {
+		t.Fatalf("half-width = %v, want %v", ci.HalfWidth, want)
+	}
+}
+
+func TestTValueTable(t *testing.T) {
+	if tValue95(1) != 12.706 || tValue95(30) != 2.042 {
+		t.Fatal("t-table wrong")
+	}
+	if tValue95(1000) != 1.96 {
+		t.Fatal("asymptotic t wrong")
+	}
+	if tValue95(0) != 0 {
+		t.Fatal("df=0 should return 0")
+	}
+}
+
+// Property: the CI always brackets the mean, shrinks with more data of the
+// same spread, and is zero for constant samples.
+func TestPropertyMeanCI(t *testing.T) {
+	f := func(vals []float64) bool {
+		// Clamp to a sane measurement range: metric values are req/s or
+		// counts, never near float64 extremes where the sums overflow.
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = math.Mod(v, 1e9)
+		}
+		ci := meanCI(vals)
+		if len(vals) == 0 {
+			return ci == MeanCI{}
+		}
+		return ci.Low() <= ci.Mean+1e-9 && ci.High() >= ci.Mean-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	constant := meanCI([]float64{5, 5, 5, 5})
+	if constant.HalfWidth != 0 {
+		t.Fatalf("constant samples half-width = %v", constant.HalfWidth)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ctqosim/internal/plot"
+)
+
+// WriteSVGs renders a result's figure panels as SVG files in dir,
+// mirroring the paper's layout:
+//
+//	util.svg      — panel (a): CPU utilization timelines
+//	queues.svg    — panel (b): queued requests with MaxSysQDepth references
+//	vlrt.svg      — panel (c): VLRT requests per window
+//	histogram.svg — the Fig. 1 semi-log response-time histogram
+//	iowait.svg    — I/O wait timelines (log-flush scenarios)
+func WriteSVGs(res *Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("svg dir: %w", err)
+	}
+	files := map[string]*plot.Chart{
+		"util.svg":      utilChart(res),
+		"queues.svg":    queueChart(res),
+		"vlrt.svg":      vlrtChart(res),
+		"histogram.svg": histogramChart(res),
+		"iowait.svg":    iowaitChart(res),
+	}
+	for name, chart := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(chart.SVG()), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// timesOf builds the x values (seconds) for n monitor samples.
+func timesOf(res *Result, n int) []float64 {
+	out := make([]float64, n)
+	step := res.Config.SampleInterval.Seconds()
+	for i := range out {
+		out[i] = float64(i+1) * step
+	}
+	return out
+}
+
+func utilChart(res *Result) *plot.Chart {
+	c := &plot.Chart{
+		Title:  res.Config.Name + " — CPU utilization",
+		XLabel: "time [s]", YLabel: "util [0..1]", YMax: 1,
+	}
+	names := res.System.TierNames()
+	if res.Bursty != nil {
+		names = append(names, res.Bursty.DB.Name())
+	}
+	for _, name := range names {
+		s := res.Monitor.Util(name)
+		if s == nil || len(s.Values) == 0 {
+			continue
+		}
+		c.Add(plot.Series{Name: name, XS: timesOf(res, len(s.Values)), YS: s.Values})
+	}
+	return c
+}
+
+func iowaitChart(res *Result) *plot.Chart {
+	c := &plot.Chart{
+		Title:  res.Config.Name + " — I/O wait",
+		XLabel: "time [s]", YLabel: "iowait [0..1]", YMax: 1,
+	}
+	for _, name := range res.System.TierNames() {
+		s := res.Monitor.IOWait(name)
+		if s == nil || len(s.Values) == 0 {
+			continue
+		}
+		c.Add(plot.Series{Name: name, XS: timesOf(res, len(s.Values)), YS: s.Values})
+	}
+	return c
+}
+
+func queueChart(res *Result) *plot.Chart {
+	c := &plot.Chart{
+		Title:  res.Config.Name + " — queued requests",
+		XLabel: "time [s]", YLabel: "queued requests",
+	}
+	for _, name := range res.System.TierNames() {
+		s := res.Monitor.Queue(name)
+		if s == nil || len(s.Values) == 0 {
+			continue
+		}
+		c.Add(plot.Series{Name: name, XS: timesOf(res, len(s.Values)), YS: s.Values})
+	}
+	// Reference lines at each bounded tier's MaxSysQDepth, deduplicated.
+	seen := make(map[int]bool)
+	for _, srv := range res.System.Servers() {
+		depth := srv.MaxSysQDepth()
+		// LiteQDepth-scale bounds would dwarf the plot.
+		if depth > 2048 || seen[depth] {
+			continue
+		}
+		seen[depth] = true
+		c.Ref(fmt.Sprintf("MaxSysQDepth=%d", depth), float64(depth))
+	}
+	return c
+}
+
+func vlrtChart(res *Result) *plot.Chart {
+	c := &plot.Chart{
+		Title:  res.Config.Name + " — VLRT requests (>3s) per window",
+		XLabel: "time [s]", YLabel: "VLRT requests",
+		Kind: plot.Bars,
+	}
+	series := res.VLRTSeries("")
+	xs := make([]float64, len(series))
+	ys := make([]float64, len(series))
+	warm := res.Config.WarmUp.Seconds()
+	step := res.Config.SampleInterval.Seconds()
+	for i, v := range series {
+		xs[i] = warm + float64(i)*step
+		ys[i] = float64(v)
+	}
+	c.Add(plot.Series{Name: "VLRT", XS: xs, YS: ys})
+	return c
+}
+
+func histogramChart(res *Result) *plot.Chart {
+	c := &plot.Chart{
+		Title:  res.Config.Name + " — response-time frequency (semi-log)",
+		XLabel: "response time [s]", YLabel: "frequency",
+		Kind: plot.Bars, LogY: true,
+	}
+	h := res.Histogram()
+	n := h.Bins() + 1
+	xs := make([]float64, 0, n)
+	ys := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, h.BinStart(i).Seconds())
+		ys = append(ys, float64(h.Count(i)))
+	}
+	c.Add(plot.Series{Name: "requests", XS: xs, YS: ys})
+	return c
+}

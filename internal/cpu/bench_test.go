@@ -1,0 +1,31 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+
+	"ctqosim/internal/des"
+)
+
+// BenchmarkProcessorSharing measures job churn through a contended
+// two-VM node — the hot path of every experiment.
+func BenchmarkProcessorSharing(b *testing.B) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	a := node.AddVM("a", 1, 1)
+	c := node.AddVM("b", 1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vm := a
+		if i%2 == 0 {
+			vm = c
+		}
+		vm.Submit(100*time.Microsecond, nil)
+		if i%64 == 0 {
+			for sim.Pending() > 0 && sim.Step() {
+			}
+		}
+	}
+	for sim.Pending() > 0 && sim.Step() {
+	}
+}

@@ -1,0 +1,361 @@
+// Package cpu models physical compute nodes whose cores are shared by
+// virtual machines, as in the paper's ESXi consolidation testbed (Fig. 2/13).
+//
+// A Node has a fixed number of cores. VMs placed on the node receive CPU in
+// proportion to their weights (the ESXi "CPU shares"), capped by their vCPU
+// count, with any unused share redistributed to the other runnable VMs
+// (water-filling). Within a VM, all runnable jobs share the VM's allocation
+// equally — generalized processor sharing, the standard fluid approximation
+// of a time-slicing scheduler.
+//
+// This is the substrate on which millibottlenecks arise: when a co-located
+// bursty VM becomes runnable, the steady VM's allocation drops and its
+// run queue backs up for a sub-second interval, exactly the mechanism in
+// Section IV-A of the paper. VMs also support Block, an I/O stall during
+// which jobs make no progress (Section IV-B's log-flush millibottleneck).
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ctqosim/internal/des"
+)
+
+// epsilon below which a job's remaining demand counts as complete, in
+// seconds. One nanosecond of CPU demand is far below any modeled quantum.
+const doneEpsilon = 1e-9
+
+// Policy selects how a node's cores are divided among its VMs.
+type Policy int
+
+// Scheduling policies.
+const (
+	// WeightedVM divides cores among runnable VMs in proportion to their
+	// weights (ESXi-style shares). This is the default.
+	WeightedVM Policy = iota + 1
+	// JobProportional divides cores in proportion to weight × runnable
+	// jobs, modeling thread-proportional time slicing on a consolidated
+	// core: a co-tenant that dumps hundreds of runnable threads starves a
+	// steady tenant with a handful, effectively stopping it — the
+	// millibottleneck behaviour the paper observes during SysBursty's
+	// bursts (Section IV-A).
+	JobProportional
+)
+
+// Node is a physical machine with a fixed core capacity shared by VMs.
+type Node struct {
+	sim    *des.Simulator
+	name   string
+	cores  float64
+	policy Policy
+	vms    []*VM
+
+	lastUpdate time.Duration
+	completion *des.Event
+}
+
+// NewNode creates a node with the given core capacity (1.0 = one core).
+func NewNode(sim *des.Simulator, name string, cores float64) *Node {
+	if cores <= 0 {
+		cores = 1
+	}
+	return &Node{sim: sim, name: name, cores: cores, policy: WeightedVM}
+}
+
+// SetPolicy switches the node's scheduling policy. Call before submitting
+// work; switching mid-run applies from the next scheduling event.
+func (n *Node) SetPolicy(p Policy) {
+	n.advance()
+	n.policy = p
+	n.reschedule()
+}
+
+// PolicyInUse returns the node's current scheduling policy.
+func (n *Node) PolicyInUse() Policy { return n.policy }
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Cores returns the node's core capacity.
+func (n *Node) Cores() float64 { return n.cores }
+
+// AddVM places a VM on the node. Weight is the relative CPU share; vcpus
+// caps the cores the VM may use at once.
+func (n *Node) AddVM(name string, weight, vcpus float64) *VM {
+	if weight <= 0 {
+		weight = 1
+	}
+	if vcpus <= 0 {
+		vcpus = 1
+	}
+	vm := &VM{node: n, name: name, weight: weight, vcpus: vcpus}
+	n.vms = append(n.vms, vm)
+	return vm
+}
+
+// VM is a virtual machine placed on a Node. Jobs submitted to a VM consume
+// simulated CPU time under processor sharing.
+type VM struct {
+	node   *Node
+	name   string
+	weight float64
+	vcpus  float64
+
+	jobs    []*Job
+	blocked int // nesting depth of active Block intervals
+
+	// Accumulators, updated lazily by node.advance. All are integrals over
+	// simulated time and are sampled by the metrics monitor.
+	runnableTime time.Duration // time with >=1 runnable job and not blocked
+	blockedTime  time.Duration // time spent blocked (I/O wait)
+	cpuSeconds   float64       // core-seconds actually consumed
+}
+
+// Name returns the VM's name.
+func (v *VM) Name() string { return v.name }
+
+// Node returns the node hosting this VM.
+func (v *VM) Node() *Node { return v.node }
+
+// ActiveJobs returns the number of jobs currently runnable or blocked on
+// the VM.
+func (v *VM) ActiveJobs() int { return len(v.jobs) }
+
+// Usage is a snapshot of a VM's accumulated CPU accounting.
+type Usage struct {
+	// Runnable is the total time the VM had at least one runnable job and
+	// was not blocked. The ratio of Runnable deltas to wall time is the
+	// "utilization" plotted in the paper's timelines: a saturated VM is
+	// pinned at 100%.
+	Runnable time.Duration
+	// Blocked is the total time the VM was stalled on I/O.
+	Blocked time.Duration
+	// CPUSeconds is the core-seconds of actual CPU consumed.
+	CPUSeconds float64
+}
+
+// Usage returns the VM's accumulated accounting as of the current simulated
+// time.
+func (v *VM) Usage() Usage {
+	v.node.advance()
+	return Usage{
+		Runnable:   v.runnableTime,
+		Blocked:    v.blockedTime,
+		CPUSeconds: v.cpuSeconds,
+	}
+}
+
+// Job is an outstanding unit of CPU demand on a VM.
+type Job struct {
+	vm        *VM
+	remaining float64 // seconds of CPU demand left
+	done      func()
+	finished  bool
+}
+
+// Submit queues demand seconds of CPU work on the VM; done fires when the
+// work completes. Zero or negative demand completes on the next event
+// (still asynchronously, never re-entrantly).
+func (v *VM) Submit(demand time.Duration, done func()) *Job {
+	v.node.advance()
+	j := &Job{vm: v, remaining: demand.Seconds(), done: done}
+	if j.remaining <= doneEpsilon {
+		// Keep even zero-demand jobs asynchronous: a sliver of demand makes
+		// the completion fire from the event loop, never inside Submit.
+		j.remaining = 2 * doneEpsilon
+	}
+	v.jobs = append(v.jobs, j)
+	v.node.reschedule()
+	return j
+}
+
+// Block stalls the VM for d: all of its jobs stop progressing and the time
+// is accounted as I/O wait. Overlapping blocks nest; the VM resumes when
+// all blocks end.
+func (v *VM) Block(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.node.advance()
+	v.blocked++
+	v.node.sim.Schedule(d, func() {
+		v.node.advance()
+		v.blocked--
+		v.node.reschedule()
+	})
+	v.node.reschedule()
+}
+
+// Blocked reports whether the VM is currently stalled on I/O.
+func (v *VM) Blocked() bool { return v.blocked > 0 }
+
+// advance integrates all job progress and accounting from lastUpdate to the
+// current simulated time, using the allocation that has been in effect over
+// that interval.
+func (n *Node) advance() {
+	now := n.sim.Now()
+	elapsed := (now - n.lastUpdate).Seconds()
+	if elapsed <= 0 {
+		n.lastUpdate = now
+		return
+	}
+	alloc := n.allocations()
+	for i, vm := range n.vms {
+		if vm.blocked > 0 {
+			vm.blockedTime += now - n.lastUpdate
+			continue
+		}
+		if len(vm.jobs) == 0 {
+			continue
+		}
+		vm.runnableTime += now - n.lastUpdate
+		rate := alloc[i] / float64(len(vm.jobs))
+		for _, j := range vm.jobs {
+			j.remaining -= rate * elapsed
+		}
+		vm.cpuSeconds += alloc[i] * elapsed
+	}
+	n.lastUpdate = now
+}
+
+// reschedule completes any finished jobs and arms the next completion event.
+// Done callbacks run after internal state is consistent; they may submit new
+// work re-entrantly.
+func (n *Node) reschedule() {
+	var completed []*Job
+	for _, vm := range n.vms {
+		if vm.blocked > 0 {
+			continue
+		}
+		kept := vm.jobs[:0]
+		for _, j := range vm.jobs {
+			if j.remaining <= doneEpsilon {
+				j.finished = true
+				completed = append(completed, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		// Clear the tail so finished jobs are collectable.
+		for i := len(kept); i < len(vm.jobs); i++ {
+			vm.jobs[i] = nil
+		}
+		vm.jobs = kept
+	}
+
+	if n.completion != nil {
+		n.sim.Cancel(n.completion)
+		n.completion = nil
+	}
+	alloc := n.allocations()
+	next := -1.0
+	for i, vm := range n.vms {
+		if vm.blocked > 0 || len(vm.jobs) == 0 || alloc[i] <= 0 {
+			continue
+		}
+		rate := alloc[i] / float64(len(vm.jobs))
+		for _, j := range vm.jobs {
+			t := j.remaining / rate
+			if next < 0 || t < next {
+				next = t
+			}
+		}
+	}
+	if next >= 0 {
+		n.completion = n.sim.Schedule(durationFromSeconds(next), func() {
+			n.completion = nil
+			n.advance()
+			n.reschedule()
+		})
+	}
+
+	for _, j := range completed {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// allocations computes the core allocation per VM: proportional to weight
+// among runnable VMs, capped at vcpus, with excess redistributed.
+func (n *Node) allocations() []float64 {
+	alloc := make([]float64, len(n.vms))
+	remaining := n.cores
+	active := make([]int, 0, len(n.vms))
+	for i, vm := range n.vms {
+		if vm.blocked == 0 && len(vm.jobs) > 0 {
+			active = append(active, i)
+		}
+	}
+	// effWeight is the VM's share under the active policy.
+	effWeight := func(vm *VM) float64 {
+		if n.policy == JobProportional {
+			return vm.weight * float64(len(vm.jobs))
+		}
+		return vm.weight
+	}
+	// Water-filling: repeatedly grant proportional shares; VMs that hit
+	// their vCPU cap are fixed and their surplus redistributed.
+	for len(active) > 0 && remaining > 1e-12 {
+		var totalWeight float64
+		for _, i := range active {
+			totalWeight += effWeight(n.vms[i])
+		}
+		capped := false
+		stillActive := active[:0]
+		for _, i := range active {
+			vm := n.vms[i]
+			share := remaining * effWeight(vm) / totalWeight
+			if alloc[i]+share >= vm.vcpus {
+				capped = true
+				alloc[i] = vm.vcpus
+			} else {
+				stillActive = append(stillActive, i)
+			}
+		}
+		if !capped {
+			for _, i := range stillActive {
+				vm := n.vms[i]
+				alloc[i] += remaining * effWeight(vm) / totalWeight
+			}
+			break
+		}
+		// Recompute the pool left for uncapped VMs and iterate.
+		used := 0.0
+		for i := range n.vms {
+			found := false
+			for _, a := range stillActive {
+				if a == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				used += alloc[i]
+			} else {
+				alloc[i] = 0
+			}
+		}
+		remaining = n.cores - used
+		active = stillActive
+	}
+	return alloc
+}
+
+// durationFromSeconds converts to a Duration, rounding up so a positive
+// remaining demand always schedules strictly in the future. Truncating here
+// could produce a zero-delay completion event that re-fires at the same
+// timestamp forever without making progress.
+func durationFromSeconds(s float64) time.Duration {
+	if s <= 0 {
+		return time.Nanosecond
+	}
+	return time.Duration(math.Ceil(s * float64(time.Second)))
+}
+
+// String implements fmt.Stringer for debugging.
+func (v *VM) String() string {
+	return fmt.Sprintf("vm(%s jobs=%d blocked=%v)", v.name, len(v.jobs), v.blocked > 0)
+}

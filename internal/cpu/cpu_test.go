@@ -1,0 +1,449 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ctqosim/internal/des"
+)
+
+func TestSingleJobRunsAtFullSpeed(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var doneAt time.Duration
+	vm.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !within(doneAt, 100*time.Millisecond, time.Microsecond) {
+		t.Fatalf("job finished at %v, want ~100ms", doneAt)
+	}
+}
+
+func TestTwoJobsShareVM(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var first, second time.Duration
+	vm.Submit(100*time.Millisecond, func() { first = sim.Now() })
+	vm.Submit(100*time.Millisecond, func() { second = sim.Now() })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Two equal jobs sharing one core each take 200ms.
+	if !within(first, 200*time.Millisecond, time.Microsecond) ||
+		!within(second, 200*time.Millisecond, time.Microsecond) {
+		t.Fatalf("jobs finished at %v and %v, want ~200ms each", first, second)
+	}
+}
+
+func TestUnequalJobsProcessorSharing(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var short, long time.Duration
+	vm.Submit(50*time.Millisecond, func() { short = sim.Now() })
+	vm.Submit(150*time.Millisecond, func() { long = sim.Now() })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Short job: shares until it has consumed 50ms at rate 1/2 → done at
+	// 100ms. Long job then runs alone: 150-50=100ms left → done at 200ms.
+	if !within(short, 100*time.Millisecond, time.Microsecond) {
+		t.Fatalf("short finished at %v, want ~100ms", short)
+	}
+	if !within(long, 200*time.Millisecond, time.Microsecond) {
+		t.Fatalf("long finished at %v, want ~200ms", long)
+	}
+}
+
+func TestTwoVMsEqualWeightShareNode(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	a := node.AddVM("a", 1, 1)
+	b := node.AddVM("b", 1, 1)
+
+	var aDone, bDone time.Duration
+	a.Submit(100*time.Millisecond, func() { aDone = sim.Now() })
+	b.Submit(100*time.Millisecond, func() { bDone = sim.Now() })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !within(aDone, 200*time.Millisecond, time.Microsecond) ||
+		!within(bDone, 200*time.Millisecond, time.Microsecond) {
+		t.Fatalf("finished at %v / %v, want ~200ms each", aDone, bDone)
+	}
+}
+
+func TestWeightedShares(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	heavy := node.AddVM("heavy", 3, 1)
+	light := node.AddVM("light", 1, 1)
+
+	var heavyDone, lightDone time.Duration
+	heavy.Submit(75*time.Millisecond, func() { heavyDone = sim.Now() })
+	light.Submit(75*time.Millisecond, func() { lightDone = sim.Now() })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// heavy runs at 3/4 until done: 75ms / 0.75 = 100ms. light has then
+	// consumed 25ms; remaining 50ms at full speed → 150ms.
+	if !within(heavyDone, 100*time.Millisecond, time.Microsecond) {
+		t.Fatalf("heavy finished at %v, want ~100ms", heavyDone)
+	}
+	if !within(lightDone, 150*time.Millisecond, time.Microsecond) {
+		t.Fatalf("light finished at %v, want ~150ms", lightDone)
+	}
+}
+
+func TestVCPUCapRedistributes(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 2)
+	capped := node.AddVM("capped", 10, 1) // huge weight but only 1 vCPU
+	other := node.AddVM("other", 1, 2)
+
+	var cappedDone, otherDone time.Duration
+	capped.Submit(100*time.Millisecond, func() { cappedDone = sim.Now() })
+	other.Submit(100*time.Millisecond, func() { otherDone = sim.Now() })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Both get one full core despite the weight skew.
+	if !within(cappedDone, 100*time.Millisecond, time.Microsecond) ||
+		!within(otherDone, 100*time.Millisecond, time.Microsecond) {
+		t.Fatalf("finished at %v / %v, want ~100ms each", cappedDone, otherDone)
+	}
+}
+
+func TestIdleVMDonatesShare(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	busy := node.AddVM("busy", 1, 1)
+	node.AddVM("idle", 1, 1)
+
+	var doneAt time.Duration
+	busy.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !within(doneAt, 100*time.Millisecond, time.Microsecond) {
+		t.Fatalf("finished at %v, want ~100ms (idle VM must not consume share)", doneAt)
+	}
+}
+
+func TestBlockStallsProgress(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var doneAt time.Duration
+	vm.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	sim.Schedule(50*time.Millisecond, func() { vm.Block(200 * time.Millisecond) })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 50ms progress, 200ms stall, 50ms to finish → 300ms.
+	if !within(doneAt, 300*time.Millisecond, time.Microsecond) {
+		t.Fatalf("finished at %v, want ~300ms", doneAt)
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var doneAt time.Duration
+	vm.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	sim.Schedule(10*time.Millisecond, func() { vm.Block(100 * time.Millisecond) })
+	sim.Schedule(50*time.Millisecond, func() { vm.Block(100 * time.Millisecond) })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Blocked from 10ms to 150ms (second block ends last). 10ms progress
+	// before, 90ms after → done at 240ms.
+	if !within(doneAt, 240*time.Millisecond, time.Microsecond) {
+		t.Fatalf("finished at %v, want ~240ms", doneAt)
+	}
+}
+
+func TestBlockedVMDonatesCPU(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	a := node.AddVM("a", 1, 1)
+	b := node.AddVM("b", 1, 1)
+
+	var bDone time.Duration
+	a.Submit(500*time.Millisecond, nil)
+	a.Block(time.Second)
+	b.Submit(100*time.Millisecond, func() { bDone = sim.Now() })
+	if err := sim.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !within(bDone, 100*time.Millisecond, time.Microsecond) {
+		t.Fatalf("b finished at %v, want ~100ms while a is blocked", bDone)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	vm.Submit(100*time.Millisecond, nil)
+	sim.Schedule(500*time.Millisecond, func() {
+		u := vm.Usage()
+		if !within(u.Runnable, 100*time.Millisecond, time.Microsecond) {
+			t.Errorf("Runnable=%v, want ~100ms", u.Runnable)
+		}
+		if math.Abs(u.CPUSeconds-0.1) > 1e-6 {
+			t.Errorf("CPUSeconds=%v, want ~0.1", u.CPUSeconds)
+		}
+	})
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestUsageBlockedAccounting(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	vm.Block(200 * time.Millisecond)
+	sim.Schedule(500*time.Millisecond, func() {
+		u := vm.Usage()
+		if !within(u.Blocked, 200*time.Millisecond, time.Microsecond) {
+			t.Errorf("Blocked=%v, want ~200ms", u.Blocked)
+		}
+	})
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestConsolidationMillibottleneck(t *testing.T) {
+	// The paper's Fig. 3(a) scenario in miniature: a steady VM at ~70%
+	// load shares a core with a bursty co-tenant. During the burst the
+	// steady VM's throughput halves and its run queue backs up.
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	steady := node.AddVM("steady", 1, 1)
+	bursty := node.AddVM("bursty", 1, 1)
+
+	completions := 0
+	// Steady stream: one 0.7ms job per 1ms → 70% utilization alone.
+	des.NewTicker(sim, time.Millisecond, func(time.Duration) {
+		steady.Submit(700*time.Microsecond, func() { completions++ })
+	})
+	// Burst at t=1s: 400ms of CPU demand dumped at once.
+	sim.Schedule(time.Second, func() {
+		bursty.Submit(400*time.Millisecond, nil)
+	})
+
+	var queueDuringBurst int
+	sim.Schedule(1200*time.Millisecond, func() {
+		queueDuringBurst = steady.ActiveJobs()
+	})
+	// The ticker keeps events pending forever, so the horizon is expected.
+	if err := sim.Run(3 * time.Second); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	if queueDuringBurst < 50 {
+		t.Fatalf("steady run queue during burst = %d, want substantial backlog", queueDuringBurst)
+	}
+	if steady.ActiveJobs() > 5 {
+		t.Fatalf("steady queue did not drain after burst: %d", steady.ActiveJobs())
+	}
+}
+
+func TestZeroDemandCompletesAsync(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	done := false
+	vm.Submit(0, func() { done = true })
+	if done {
+		t.Fatal("zero-demand job completed re-entrantly inside Submit")
+	}
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done {
+		t.Fatal("zero-demand job never completed")
+	}
+}
+
+func TestSubmitFromDoneCallback(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var second time.Duration
+	vm.Submit(50*time.Millisecond, func() {
+		vm.Submit(50*time.Millisecond, func() { second = sim.Now() })
+	})
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !within(second, 100*time.Millisecond, time.Microsecond) {
+		t.Fatalf("chained job finished at %v, want ~100ms", second)
+	}
+}
+
+// Property: total CPU-seconds consumed never exceeds cores × elapsed time,
+// and all submitted work eventually completes (work conservation).
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(demandsMs []uint8, weights [3]uint8) bool {
+		sim := des.NewSimulator(11)
+		node := NewNode(sim, "n", 1)
+		vms := []*VM{
+			node.AddVM("a", float64(weights[0]%7)+1, 1),
+			node.AddVM("b", float64(weights[1]%7)+1, 1),
+			node.AddVM("c", float64(weights[2]%7)+1, 1),
+		}
+		var totalDemand float64
+		completed := 0
+		for i, d := range demandsMs {
+			dur := time.Duration(d) * time.Millisecond
+			if dur == 0 {
+				dur = time.Millisecond
+			}
+			totalDemand += dur.Seconds()
+			vms[i%len(vms)].Submit(dur, func() { completed++ })
+		}
+		if err := sim.Run(10 * time.Minute); err != nil {
+			return false
+		}
+		if completed != len(demandsMs) {
+			return false
+		}
+		var consumed float64
+		for _, vm := range vms {
+			consumed += vm.Usage().CPUSeconds
+		}
+		// Consumed work equals submitted demand (within float tolerance),
+		// and no more than one core's worth of time elapsed.
+		if math.Abs(consumed-totalDemand) > 1e-6*(1+totalDemand) {
+			return false
+		}
+		return consumed <= sim.Now().Seconds()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a job's completion time is never before demand/cores (nothing
+// runs faster than the hardware).
+func TestPropertySpeedLimit(t *testing.T) {
+	f := func(demandsMs []uint8) bool {
+		sim := des.NewSimulator(13)
+		node := NewNode(sim, "n", 2)
+		vm := node.AddVM("vm", 1, 2)
+		ok := true
+		for _, d := range demandsMs {
+			dur := time.Duration(int(d)+1) * time.Millisecond
+			minTime := time.Duration(float64(dur) / 2) // 2 cores
+			vm.Submit(dur, func() {
+				if sim.Now() < minTime {
+					ok = false
+				}
+			})
+		}
+		if err := sim.Run(10 * time.Minute); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func within(got, want, tol time.Duration) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestJobProportionalPolicyStarvesLightVM(t *testing.T) {
+	// The consolidation millibottleneck mechanism: a co-tenant with 400
+	// runnable jobs takes nearly the whole core under JobProportional,
+	// effectively stopping the steady VM.
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	node.SetPolicy(JobProportional)
+	steady := node.AddVM("steady", 1, 1)
+	bursty := node.AddVM("bursty", 1, 1)
+
+	var steadyDone time.Duration
+	steady.Submit(10*time.Millisecond, func() { steadyDone = sim.Now() })
+	for i := 0; i < 400; i++ {
+		bursty.Submit(time.Millisecond, nil)
+	}
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Steady gets ~1/401 of the core while the burst drains (~400ms), so
+	// it finishes far later than its solo 10ms - close to the burst end.
+	if steadyDone < 300*time.Millisecond {
+		t.Fatalf("steady finished at %v; JobProportional should starve it during the burst", steadyDone)
+	}
+}
+
+func TestWeightedVMPolicyUnaffectedByJobCount(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	steady := node.AddVM("steady", 1, 1)
+	bursty := node.AddVM("bursty", 1, 1)
+
+	var steadyDone time.Duration
+	steady.Submit(10*time.Millisecond, func() { steadyDone = sim.Now() })
+	for i := 0; i < 400; i++ {
+		bursty.Submit(time.Millisecond, nil)
+	}
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Default policy: steady holds a 50% share, finishing in ~20ms.
+	if !within(steadyDone, 20*time.Millisecond, time.Millisecond) {
+		t.Fatalf("steady finished at %v, want ~20ms under WeightedVM", steadyDone)
+	}
+}
+
+func TestSetPolicyMidRun(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	if node.PolicyInUse() != WeightedVM {
+		t.Fatalf("default policy = %v, want WeightedVM", node.PolicyInUse())
+	}
+	a := node.AddVM("a", 1, 1)
+	b := node.AddVM("b", 1, 1)
+	a.Submit(100*time.Millisecond, nil)
+	for i := 0; i < 9; i++ {
+		b.Submit(100*time.Millisecond, nil)
+	}
+	sim.Schedule(50*time.Millisecond, func() { node.SetPolicy(JobProportional) })
+	if err := sim.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if node.PolicyInUse() != JobProportional {
+		t.Fatal("policy did not switch")
+	}
+	// Work conservation still holds across the switch.
+	total := a.Usage().CPUSeconds + b.Usage().CPUSeconds
+	if math.Abs(total-1.0) > 1e-6 {
+		t.Fatalf("total CPU = %v, want 1.0s", total)
+	}
+}

@@ -1,0 +1,29 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	sim := NewSimulator(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 0 {
+			for sim.Step() {
+			}
+		}
+	}
+	for sim.Step() {
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	sim := NewSimulator(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := sim.Schedule(time.Hour, func() {})
+		sim.Cancel(ev)
+	}
+}

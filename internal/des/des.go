@@ -1,0 +1,180 @@
+// Package des provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a virtual clock forward by executing scheduled events in
+// timestamp order. Events with identical timestamps execute in the order they
+// were scheduled (stable FIFO tie-breaking), so a simulation is fully
+// reproducible given the same inputs and RNG seed.
+//
+// The kernel is intentionally single-threaded: all model code runs on the
+// caller's goroutine inside Run/Step. This makes simulations deterministic
+// and fast, and lets models share state without locks.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrHorizon is returned by Run when the simulation reaches the requested
+// time horizon with events still pending.
+var ErrHorizon = errors.New("des: horizon reached with pending events")
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	time     time.Duration
+	seq      uint64
+	index    int // position in the heap, -1 once removed
+	fn       func()
+	canceled bool
+}
+
+// Time returns the simulated time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) Time() time.Duration { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Simulator owns the virtual clock and the pending-event queue.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	executed uint64
+}
+
+// NewSimulator returns a simulator whose clock starts at zero and whose RNG
+// is seeded with seed.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return s.events.Len() }
+
+// Schedule registers fn to run after delay of simulated time. A negative
+// delay is treated as zero. The returned Event may be cancelled.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute simulated time t. Times in the
+// past are clamped to the current time.
+func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Cancel removes the event from the queue if it has not yet fired. It is
+// safe to call multiple times and after the event has fired.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.events, e.index)
+}
+
+// Step executes the single next event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (s *Simulator) Step() bool {
+	for s.events.Len() > 0 {
+		ev, ok := heap.Pop(&s.events).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.time
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the clock would pass
+// horizon. Events scheduled exactly at the horizon still execute. It returns
+// ErrHorizon if events remain beyond the horizon, nil otherwise.
+func (s *Simulator) Run(horizon time.Duration) error {
+	for s.events.Len() > 0 {
+		next := s.events[0]
+		if next.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.time > horizon {
+			s.now = horizon
+			return ErrHorizon
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, seq) so simultaneous events run FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,46 @@
+package des
+
+import "time"
+
+// Ticker fires a callback at a fixed simulated-time period until stopped or
+// the simulation drains. It is the simulation analogue of time.Ticker and is
+// used by monitors (50ms sampling) and periodic fault injectors (30s log
+// flush).
+type Ticker struct {
+	sim    *Simulator
+	period time.Duration
+	fn     func(now time.Duration)
+	next   *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+// Period must be positive.
+func NewTicker(sim *Simulator, period time.Duration, fn func(now time.Duration)) *Ticker {
+	t := &Ticker{sim: sim, period: period, fn: fn}
+	if period > 0 {
+		t.arm()
+	}
+	return t
+}
+
+// Stop cancels all future firings. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.next != nil {
+		t.sim.Cancel(t.next)
+		t.next = nil
+	}
+}
+
+func (t *Ticker) arm() {
+	t.next = t.sim.Schedule(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn(t.sim.Now())
+		if !t.stop {
+			t.arm()
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package fault injects the millibottlenecks studied by the paper.
+//
+// Section IV reproduces VLRT requests from two millibottleneck sources:
+// CPU contention caused by a consolidated bursty co-tenant (Fig. 3), and
+// I/O stalls caused by the collectl monitor flushing its log to disk every
+// 30 seconds (Fig. 5). The CPU case arises naturally from the ntier
+// package's consolidated placement plus a bursty workload; this package
+// provides the direct injectors: the periodic log-flush stall, a raw CPU
+// hog for unit-level experiments, and a JVM garbage-collection pause model
+// (the millibottleneck source of the authors' earlier TRIOS'14 study,
+// cited as [32]).
+package fault
+
+import (
+	"time"
+
+	"ctqosim/internal/cpu"
+	"ctqosim/internal/des"
+)
+
+// DefaultFlushInterval matches collectl's log-flush period in the paper.
+const DefaultFlushInterval = 30 * time.Second
+
+// DefaultFlushDuration is the observed length of the resulting I/O-wait
+// millibottleneck (sub-second, Fig. 5a).
+const DefaultFlushDuration = 400 * time.Millisecond
+
+// LogFlush periodically stalls a VM on I/O, modeling the monitoring tool's
+// log flush from memory to disk.
+type LogFlush struct {
+	sim      *des.Simulator
+	vm       *cpu.VM
+	interval time.Duration
+	duration time.Duration
+	ticker   *des.Ticker
+	flushes  int
+}
+
+// NewLogFlush creates a flush injector for vm. Zero interval or duration
+// use the paper defaults. Call Start to begin.
+func NewLogFlush(sim *des.Simulator, vm *cpu.VM, interval, duration time.Duration) *LogFlush {
+	if interval <= 0 {
+		interval = DefaultFlushInterval
+	}
+	if duration <= 0 {
+		duration = DefaultFlushDuration
+	}
+	return &LogFlush{sim: sim, vm: vm, interval: interval, duration: duration}
+}
+
+// Start schedules flushes every interval.
+func (f *LogFlush) Start() {
+	if f.ticker != nil {
+		return
+	}
+	f.ticker = des.NewTicker(f.sim, f.interval, func(time.Duration) {
+		f.flushes++
+		f.vm.Block(f.duration)
+	})
+}
+
+// Stop cancels future flushes; an in-progress stall still completes.
+func (f *LogFlush) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
+}
+
+// Flushes returns the number of flushes injected so far.
+func (f *LogFlush) Flushes() int { return f.flushes }
+
+// CPUHog periodically dumps a burst of CPU demand on a VM, saturating the
+// node it shares. It is the distilled form of the consolidated
+// SysBursty-MySQL co-tenant: useful where the full second system would be
+// noise.
+type CPUHog struct {
+	sim      *des.Simulator
+	vm       *cpu.VM
+	interval time.Duration
+	demand   time.Duration
+	ticker   *des.Ticker
+	bursts   int
+}
+
+// NewCPUHog creates a hog that submits demand of CPU work to vm every
+// interval. Call Start to begin.
+func NewCPUHog(sim *des.Simulator, vm *cpu.VM, interval, demand time.Duration) *CPUHog {
+	return &CPUHog{sim: sim, vm: vm, interval: interval, demand: demand}
+}
+
+// Start schedules the bursts.
+func (h *CPUHog) Start() {
+	if h.ticker != nil || h.interval <= 0 {
+		return
+	}
+	h.ticker = des.NewTicker(h.sim, h.interval, func(time.Duration) {
+		h.bursts++
+		h.vm.Submit(h.demand, nil)
+	})
+}
+
+// Stop cancels future bursts.
+func (h *CPUHog) Stop() {
+	if h.ticker != nil {
+		h.ticker.Stop()
+	}
+}
+
+// Bursts returns the number of bursts injected so far.
+func (h *CPUHog) Bursts() int { return h.bursts }
+
+// GCPause models JVM stop-the-world collections: the VM freezes for a
+// pause whose length grows with the number of live threads, the non-linear
+// effect the paper cites when arguing against 2000-thread pools
+// (Section V-E). Used by the ablation benchmarks.
+type GCPause struct {
+	sim      *des.Simulator
+	vm       *cpu.VM
+	interval time.Duration
+	base     time.Duration
+	perItem  time.Duration
+	loadFn   func() int
+	ticker   *des.Ticker
+	pauses   int
+}
+
+// NewGCPause creates a GC injector: every interval the VM blocks for
+// base + perItem × loadFn(). loadFn typically reports live threads or
+// heap-resident requests; nil means zero.
+func NewGCPause(sim *des.Simulator, vm *cpu.VM, interval, base, perItem time.Duration, loadFn func() int) *GCPause {
+	return &GCPause{
+		sim: sim, vm: vm, interval: interval,
+		base: base, perItem: perItem, loadFn: loadFn,
+	}
+}
+
+// Start schedules collections.
+func (g *GCPause) Start() {
+	if g.ticker != nil || g.interval <= 0 {
+		return
+	}
+	g.ticker = des.NewTicker(g.sim, g.interval, func(time.Duration) {
+		g.pauses++
+		pause := g.base
+		if g.loadFn != nil {
+			pause += time.Duration(g.loadFn()) * g.perItem
+		}
+		if pause > 0 {
+			g.vm.Block(pause)
+		}
+	})
+}
+
+// Stop cancels future collections.
+func (g *GCPause) Stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+	}
+}
+
+// Pauses returns the number of collections injected so far.
+func (g *GCPause) Pauses() int { return g.pauses }

@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"ctqosim/internal/cpu"
+	"ctqosim/internal/des"
+)
+
+func setup() (*des.Simulator, *cpu.VM) {
+	sim := des.NewSimulator(1)
+	node := cpu.NewNode(sim, "n", 1)
+	return sim, node.AddVM("vm", 1, 1)
+}
+
+func run(t *testing.T, sim *des.Simulator, horizon time.Duration) {
+	t.Helper()
+	if err := sim.Run(horizon); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestLogFlushStallsPeriodically(t *testing.T) {
+	sim, vm := setup()
+	f := NewLogFlush(sim, vm, 30*time.Second, 400*time.Millisecond)
+	f.Start()
+
+	run(t, sim, 95*time.Second)
+	if f.Flushes() != 3 {
+		t.Fatalf("flushes = %d, want 3 (at 30/60/90s)", f.Flushes())
+	}
+	u := vm.Usage()
+	want := 3 * 400 * time.Millisecond
+	if u.Blocked != want {
+		t.Fatalf("blocked = %v, want %v", u.Blocked, want)
+	}
+}
+
+func TestLogFlushDefaults(t *testing.T) {
+	sim, vm := setup()
+	f := NewLogFlush(sim, vm, 0, 0)
+	f.Start()
+	run(t, sim, 31*time.Second)
+	if f.Flushes() != 1 {
+		t.Fatalf("flushes = %d, want 1 with default 30s interval", f.Flushes())
+	}
+}
+
+func TestLogFlushStop(t *testing.T) {
+	sim, vm := setup()
+	f := NewLogFlush(sim, vm, time.Second, 10*time.Millisecond)
+	f.Start()
+	sim.Schedule(2500*time.Millisecond, f.Stop)
+	run(t, sim, 10*time.Second)
+	if f.Flushes() != 2 {
+		t.Fatalf("flushes = %d, want 2", f.Flushes())
+	}
+}
+
+func TestLogFlushStartIdempotent(t *testing.T) {
+	sim, vm := setup()
+	f := NewLogFlush(sim, vm, time.Second, 10*time.Millisecond)
+	f.Start()
+	f.Start()
+	run(t, sim, 1500*time.Millisecond)
+	if f.Flushes() != 1 {
+		t.Fatalf("flushes = %d, want 1 (no double ticker)", f.Flushes())
+	}
+}
+
+func TestCPUHogSaturatesSharedCore(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := cpu.NewNode(sim, "n", 1)
+	steady := node.AddVM("steady", 1, 1)
+	hogVM := node.AddVM("hog", 1, 1)
+
+	hog := NewCPUHog(sim, hogVM, 15*time.Second, 400*time.Millisecond)
+	hog.Start()
+
+	// A steady job that should take 100ms alone.
+	var doneAt time.Duration
+	sim.Schedule(15*time.Second, func() {
+		steady.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	})
+	run(t, sim, 20*time.Second)
+	if hog.Bursts() != 1 {
+		t.Fatalf("bursts = %d, want 1", hog.Bursts())
+	}
+	// Sharing the core with the 400ms hog burst, the 100ms job takes 200ms.
+	want := 15*time.Second + 200*time.Millisecond
+	if doneAt < want-time.Millisecond || doneAt > want+time.Millisecond {
+		t.Fatalf("steady job finished at %v, want ~%v", doneAt, want)
+	}
+}
+
+func TestCPUHogZeroIntervalNeverStarts(t *testing.T) {
+	sim, vm := setup()
+	h := NewCPUHog(sim, vm, 0, time.Second)
+	h.Start()
+	run(t, sim, 10*time.Second)
+	if h.Bursts() != 0 {
+		t.Fatalf("bursts = %d, want 0", h.Bursts())
+	}
+}
+
+func TestGCPauseScalesWithLoad(t *testing.T) {
+	sim, vm := setup()
+	threads := 0
+	g := NewGCPause(sim, vm, time.Second, 10*time.Millisecond, time.Millisecond, func() int {
+		return threads
+	})
+	g.Start()
+
+	sim.Schedule(1500*time.Millisecond, func() { threads = 100 })
+	run(t, sim, 2500*time.Millisecond)
+	if g.Pauses() != 2 {
+		t.Fatalf("pauses = %d, want 2", g.Pauses())
+	}
+	// First pause 10ms (0 threads), second 110ms (100 threads).
+	u := vm.Usage()
+	want := 120 * time.Millisecond
+	if u.Blocked != want {
+		t.Fatalf("blocked = %v, want %v", u.Blocked, want)
+	}
+}
+
+func TestGCPauseNilLoadFn(t *testing.T) {
+	sim, vm := setup()
+	g := NewGCPause(sim, vm, time.Second, 5*time.Millisecond, time.Millisecond, nil)
+	g.Start()
+	run(t, sim, 1100*time.Millisecond)
+	if vm.Usage().Blocked != 5*time.Millisecond {
+		t.Fatalf("blocked = %v, want 5ms", vm.Usage().Blocked)
+	}
+}
+
+func TestGCPauseZeroPauseSkipsBlock(t *testing.T) {
+	sim, vm := setup()
+	g := NewGCPause(sim, vm, time.Second, 0, 0, nil)
+	g.Start()
+	run(t, sim, 2100*time.Millisecond)
+	if g.Pauses() != 2 {
+		t.Fatalf("pauses = %d, want 2", g.Pauses())
+	}
+	if vm.Usage().Blocked != 0 {
+		t.Fatalf("blocked = %v, want 0", vm.Usage().Blocked)
+	}
+}

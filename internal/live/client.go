@@ -1,0 +1,113 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client performs request/response exchanges against a live tier with
+// application-level retransmission: a refused or reset connection (the
+// server's "drop") is retried after RTO, up to MaxAttempts — the enacted
+// version of the kernel's SYN retransmission.
+type Client struct {
+	// Target is the tier's address.
+	Target string
+	// RTO is the retry delay; zero means 3s.
+	RTO time.Duration
+	// MaxAttempts bounds total attempts; zero means 5.
+	MaxAttempts int
+	// IOTimeout caps each dial/read/write; zero means 10s.
+	IOTimeout time.Duration
+}
+
+func (c *Client) rto() time.Duration {
+	if c.RTO > 0 {
+		return c.RTO
+	}
+	return 3 * time.Second
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 5
+}
+
+func (c *Client) ioTimeout() time.Duration {
+	if c.IOTimeout > 0 {
+		return c.IOTimeout
+	}
+	return 10 * time.Second
+}
+
+// Do performs one exchange, retrying dropped attempts. It returns the
+// number of attempts made and the first nil or final non-nil error.
+func (c *Client) Do(req Request) (attempts int, err error) {
+	for attempts = 1; ; attempts++ {
+		req.Attempt = attempts
+		err = c.once(req)
+		if err == nil {
+			return attempts, nil
+		}
+		if attempts >= c.maxAttempts() {
+			return attempts, fmt.Errorf("live: gave up after %d attempts: %w", attempts, err)
+		}
+		time.Sleep(c.rto())
+	}
+}
+
+func (c *Client) once(req Request) error {
+	conn, err := net.DialTimeout("tcp", c.Target, c.ioTimeout())
+	if err != nil {
+		return fmt.Errorf("live: dial %s: %w", c.Target, err)
+	}
+	defer conn.Close()
+	return exchange(conn, req, c.ioTimeout())
+}
+
+// Outcome is one client request's result in a load run.
+type Outcome struct {
+	// ID echoes the request.
+	ID uint64
+	// Latency is the end-to-end time including retries.
+	Latency time.Duration
+	// Attempts counts delivery attempts on the first hop.
+	Attempts int
+	// Err is non-nil if the request never completed.
+	Err error
+}
+
+// RunLoad fires n concurrent requests at the target and collects all
+// outcomes. Each request's chain sleeps the given per-tier service times.
+func RunLoad(client Client, n int, services []time.Duration) []Outcome {
+	if len(services) == 0 {
+		services = []time.Duration{0}
+	}
+	results := make([]Outcome, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			req := Request{
+				ID:         uint64(i),
+				Service:    services[0],
+				Downstream: services[1:],
+			}
+			start := time.Now()
+			attempts, err := client.Do(req)
+			results[i] = Outcome{
+				ID:       uint64(i),
+				Latency:  time.Since(start),
+				Attempts: attempts,
+				Err:      err,
+			}
+			done <- i
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return results
+}

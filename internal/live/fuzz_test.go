@@ -1,0 +1,53 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseRequest ensures the wire parser never panics and that every
+// successfully parsed request re-encodes to something it can parse again.
+func FuzzParseRequest(f *testing.F) {
+	f.Add("1 1 1000 -")
+	f.Add("42 2 3000000 1000000,2000000")
+	f.Add("")
+	f.Add("x y z w")
+	f.Add("1 1 1000 ,")
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := parseRequest(line)
+		if err != nil {
+			return
+		}
+		again, err := parseRequest(req.encode())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", req.encode(), err)
+		}
+		if again.ID != req.ID || again.Service != req.Service ||
+			len(again.Downstream) != len(req.Downstream) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzEncodeStability: any request built from fuzzer-chosen fields encodes
+// into a line the parser accepts with identical fields.
+func FuzzEncodeStability(f *testing.F) {
+	f.Add(uint64(1), 1, int64(time.Millisecond), int64(time.Second))
+	f.Fuzz(func(t *testing.T, id uint64, attempt int, svcNs, downNs int64) {
+		req := Request{
+			ID:      id,
+			Attempt: attempt,
+			Service: time.Duration(svcNs),
+		}
+		if downNs != 0 {
+			req.Downstream = []time.Duration{time.Duration(downNs)}
+		}
+		got, err := parseRequest(req.encode())
+		if err != nil {
+			t.Fatalf("encode of %+v not parseable: %v", req, err)
+		}
+		if got.ID != id || got.Service != req.Service {
+			t.Fatalf("fields drifted: %+v vs %+v", req, got)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+// Package live runs the paper's server architectures over real TCP
+// sockets on localhost — the runnable counterpart of the simulation.
+//
+// The simulation (internal/core) reproduces the paper's figures
+// deterministically; this package demonstrates the same mechanisms on a
+// real network stack: a synchronous tier holds a worker for the entire
+// downstream round trip and refuses connections beyond
+// threads+backlog, while an asynchronous tier parks requests in a large
+// lightweight queue and never holds a worker across a downstream call.
+//
+// One deliberate substitution: the kernel's SYN-retransmission behaviour
+// cannot be controlled from user space, so admission control and the
+// retransmission timer are enacted at application level — an over-limit
+// server closes the connection immediately (the "drop") and the client
+// retries after a configurable RTO, defaulting to the paper's 3 seconds.
+// Service times are slept, not computed, so the demo is light enough for
+// CI.
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Request is the wire message: an ID and a service-time specification for
+// each tier hop, so a single generic server binary serves any tier.
+type Request struct {
+	// ID identifies the request end to end.
+	ID uint64
+	// Attempt counts delivery attempts on this hop (for diagnostics).
+	Attempt int
+	// Service is the local service time at the receiving tier.
+	Service time.Duration
+	// Downstream is the remaining service chain ("2ms,1ms" means: the
+	// next tier sleeps 2ms, the one after 1ms).
+	Downstream []time.Duration
+}
+
+// encode renders the request as a single line:
+// "id attempt serviceNs down1Ns,down2Ns".
+func (r Request) encode() string {
+	downs := make([]string, 0, len(r.Downstream))
+	for _, d := range r.Downstream {
+		downs = append(downs, strconv.FormatInt(int64(d), 10))
+	}
+	chain := strings.Join(downs, ",")
+	if chain == "" {
+		chain = "-"
+	}
+	return fmt.Sprintf("%d %d %d %s\n", r.ID, r.Attempt, int64(r.Service), chain)
+}
+
+// parseRequest parses one encoded line.
+func parseRequest(line string) (Request, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 {
+		return Request{}, fmt.Errorf("live: malformed request %q", line)
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("live: bad id: %w", err)
+	}
+	attempt, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Request{}, fmt.Errorf("live: bad attempt: %w", err)
+	}
+	serviceNs, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("live: bad service: %w", err)
+	}
+	req := Request{ID: id, Attempt: attempt, Service: time.Duration(serviceNs)}
+	if fields[3] != "-" {
+		for _, part := range strings.Split(fields[3], ",") {
+			ns, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				return Request{}, fmt.Errorf("live: bad downstream: %w", err)
+			}
+			req.Downstream = append(req.Downstream, time.Duration(ns))
+		}
+	}
+	return req, nil
+}
+
+// okReply is the single-line success response.
+const okReply = "ok\n"
+
+// exchange performs one request/response over an established connection.
+func exchange(conn net.Conn, req Request, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("live: set deadline: %w", err)
+		}
+	}
+	if _, err := conn.Write([]byte(req.encode())); err != nil {
+		return fmt.Errorf("live: write: %w", err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("live: read reply: %w", err)
+	}
+	if reply != okReply {
+		return fmt.Errorf("live: unexpected reply %q", reply)
+	}
+	return nil
+}

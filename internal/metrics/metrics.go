@@ -1,0 +1,352 @@
+// Package metrics provides the fine-grained measurement layer of the
+// reproduction: a monitor that samples queue depths and CPU state at 50ms
+// resolution (the paper's collectl configuration), a recorder for
+// end-to-end request latencies, and the histogram/percentile helpers used
+// to regenerate the paper's figures.
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"ctqosim/internal/workload"
+)
+
+// VLRTThreshold is the paper's criterion for a very long response time
+// request.
+const VLRTThreshold = 3 * time.Second
+
+// Recorder collects completed requests. It implements workload.Sink.
+// A warm-up cutoff excludes ramp-up artifacts from statistics.
+type Recorder struct {
+	// WarmUp excludes requests submitted before this simulated time from
+	// all statistics.
+	WarmUp time.Duration
+
+	requests []*workload.Request
+}
+
+var _ workload.Sink = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record implements workload.Sink.
+func (r *Recorder) Record(req *workload.Request) {
+	if req.Submitted < r.WarmUp {
+		return
+	}
+	r.requests = append(r.requests, req)
+}
+
+// Len returns the number of recorded requests.
+func (r *Recorder) Len() int { return len(r.requests) }
+
+// Requests returns the recorded requests (shared slice; callers must not
+// mutate).
+func (r *Recorder) Requests() []*workload.Request { return r.requests }
+
+// ResponseTimes returns a new slice of all recorded response times.
+func (r *Recorder) ResponseTimes() []time.Duration {
+	out := make([]time.Duration, 0, len(r.requests))
+	for _, req := range r.requests {
+		out = append(out, req.ResponseTime())
+	}
+	return out
+}
+
+// Throughput returns completed requests per second over the window
+// [WarmUp, until].
+func (r *Recorder) Throughput(until time.Duration) float64 {
+	span := (until - r.WarmUp).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(r.requests)) / span
+}
+
+// Mean returns the mean response time.
+func (r *Recorder) Mean() time.Duration {
+	if len(r.requests) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, req := range r.requests {
+		sum += req.ResponseTime()
+	}
+	return sum / time.Duration(len(r.requests))
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) of response times using
+// the nearest-rank method.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	if len(r.requests) == 0 {
+		return 0
+	}
+	rts := r.ResponseTimes()
+	sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
+	if p <= 0 {
+		return rts[0]
+	}
+	if p >= 1 {
+		return rts[len(rts)-1]
+	}
+	idx := int(p*float64(len(rts))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(rts) {
+		idx = len(rts) - 1
+	}
+	return rts[idx]
+}
+
+// VLRTCount returns the number of recorded requests slower than the
+// 3-second threshold.
+func (r *Recorder) VLRTCount() int {
+	n := 0
+	for _, req := range r.requests {
+		if req.VLRT() {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedCount returns the number of requests that never completed
+// successfully.
+func (r *Recorder) FailedCount() int {
+	n := 0
+	for _, req := range r.requests {
+		if req.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// DropsByServer aggregates packet drops per responsible server across all
+// recorded requests.
+func (r *Recorder) DropsByServer() map[string]int {
+	out := make(map[string]int)
+	for _, req := range r.requests {
+		for _, s := range req.Drops {
+			out[s]++
+		}
+	}
+	return out
+}
+
+// VLRTSeries counts VLRT requests per window of the given width, bucketed
+// by submission time (the paper's Figs. 3c/5c/7c). If server is non-empty,
+// only requests whose first drop happened at that server are counted.
+func (r *Recorder) VLRTSeries(window, until time.Duration, serverName string) []int {
+	if window <= 0 || until <= r.WarmUp {
+		return nil
+	}
+	n := int((until-r.WarmUp)/window) + 1
+	out := make([]int, n)
+	for _, req := range r.requests {
+		if !req.VLRT() {
+			continue
+		}
+		if serverName != "" && req.DroppedBy() != serverName {
+			continue
+		}
+		idx := int((req.Submitted - r.WarmUp) / window)
+		if idx >= 0 && idx < n {
+			out[idx]++
+		}
+	}
+	return out
+}
+
+// ClassStats summarizes one interaction class's recorded requests.
+type ClassStats struct {
+	// Class is the interaction name.
+	Class string
+	// Count is the number of completed requests.
+	Count int
+	// Mean is the mean response time.
+	Mean time.Duration
+	// P99 is the 99th-percentile response time.
+	P99 time.Duration
+	// VLRT counts >3s requests.
+	VLRT int
+	// Failed counts requests that never completed.
+	Failed int
+}
+
+// ByClass breaks the recorded requests down per interaction class, sorted
+// by class name. Useful for verifying that the long tail is class-blind —
+// the paper's point that VLRT requests are not the "expensive" requests.
+func (r *Recorder) ByClass() []ClassStats {
+	group := make(map[string][]*workload.Request)
+	for _, req := range r.requests {
+		group[req.Class.Name] = append(group[req.Class.Name], req)
+	}
+	names := make([]string, 0, len(group))
+	for name := range group {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]ClassStats, 0, len(names))
+	for _, name := range names {
+		reqs := group[name]
+		cs := ClassStats{Class: name, Count: len(reqs)}
+		rts := make([]time.Duration, 0, len(reqs))
+		var sum time.Duration
+		for _, req := range reqs {
+			rt := req.ResponseTime()
+			rts = append(rts, rt)
+			sum += rt
+			if req.VLRT() {
+				cs.VLRT++
+			}
+			if req.Failed {
+				cs.Failed++
+			}
+		}
+		cs.Mean = sum / time.Duration(len(reqs))
+		sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
+		idx := int(0.99*float64(len(rts))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		cs.P99 = rts[idx]
+		out = append(out, cs)
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical distribution function.
+type CDFPoint struct {
+	// RT is the response-time threshold.
+	RT time.Duration
+	// Fraction is P(response time <= RT).
+	Fraction float64
+}
+
+// CDF returns the empirical CDF evaluated at the given thresholds (which
+// need not be sorted). Useful for tail comparisons across architectures.
+func (r *Recorder) CDF(thresholds []time.Duration) []CDFPoint {
+	out := make([]CDFPoint, 0, len(thresholds))
+	if len(r.requests) == 0 {
+		for _, t := range thresholds {
+			out = append(out, CDFPoint{RT: t})
+		}
+		return out
+	}
+	rts := r.ResponseTimes()
+	sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
+	for _, t := range thresholds {
+		idx := sort.Search(len(rts), func(i int) bool { return rts[i] > t })
+		out = append(out, CDFPoint{RT: t, Fraction: float64(idx) / float64(len(rts))})
+	}
+	return out
+}
+
+// Histogram builds a response-time frequency histogram with the given bin
+// width, covering [0, maxRT); slower requests land in the final overflow
+// bin. This regenerates the paper's Fig. 1 semi-log plots.
+func (r *Recorder) Histogram(binWidth, maxRT time.Duration) *Histogram {
+	h := NewHistogram(binWidth, maxRT)
+	for _, req := range r.requests {
+		h.Observe(req.ResponseTime())
+	}
+	return h
+}
+
+// Histogram is a fixed-bin latency histogram with an overflow bin.
+type Histogram struct {
+	binWidth time.Duration
+	counts   []int64
+	total    int64
+}
+
+// NewHistogram creates a histogram of ceil(maxRT/binWidth) bins plus one
+// overflow bin.
+func NewHistogram(binWidth, maxRT time.Duration) *Histogram {
+	if binWidth <= 0 {
+		binWidth = 100 * time.Millisecond
+	}
+	if maxRT < binWidth {
+		maxRT = binWidth
+	}
+	n := int((maxRT + binWidth - 1) / binWidth)
+	return &Histogram{binWidth: binWidth, counts: make([]int64, n+1)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	idx := int(d / h.binWidth)
+	if d < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts)-1 {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Bins returns the number of regular bins (excluding overflow).
+func (h *Histogram) Bins() int { return len(h.counts) - 1 }
+
+// BinWidth returns the bin width.
+func (h *Histogram) BinWidth() time.Duration { return h.binWidth }
+
+// Count returns the frequency of bin i; i == Bins() is the overflow bin.
+func (h *Histogram) Count(i int) int64 {
+	if i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i]
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinStart returns the lower edge of bin i.
+func (h *Histogram) BinStart(i int) time.Duration {
+	return time.Duration(i) * h.binWidth
+}
+
+// NonZeroBins returns the indices of bins with at least one sample, in
+// order. Useful for printing sparse histograms.
+func (h *Histogram) NonZeroBins() []int {
+	var out []int
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ModeClusters returns the starts (in seconds, rounded down) of the
+// response-time clusters: every whole second bucket that holds at least
+// minShare of the samples. For the paper's Fig. 1 the expected answer is
+// {0, 3, 6, …}.
+func (h *Histogram) ModeClusters(minShare float64) []int {
+	if h.total == 0 {
+		return nil
+	}
+	perSecond := make(map[int]int64)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		sec := int(h.BinStart(i) / time.Second)
+		perSecond[sec] += c
+	}
+	var out []int
+	for sec, c := range perSecond {
+		if float64(c)/float64(h.total) >= minShare {
+			out = append(out, sec)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory using
+// the P² algorithm (Jain & Chlamtac, 1985). The full Recorder keeps every
+// sample for exact figures; this estimator is for long-running or
+// memory-constrained deployments (e.g. embedding the monitor in a live
+// service), and is cross-validated against the exact recorder in tests.
+type P2Quantile struct {
+	p       float64
+	count   int
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	dWant   [5]float64
+	initial []float64
+}
+
+// NewP2Quantile creates an estimator for quantile p in (0, 1).
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("p2: quantile %v out of (0,1)", p)
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.dWant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	q.initial = make([]float64, 0, 5)
+	return q, nil
+}
+
+// ObserveDuration adds a duration sample.
+func (q *P2Quantile) ObserveDuration(d time.Duration) { q.Observe(d.Seconds()) }
+
+// Observe adds one sample.
+func (q *P2Quantile) Observe(x float64) {
+	q.count++
+	if len(q.initial) < 5 {
+		q.initial = append(q.initial, x)
+		if len(q.initial) == 5 {
+			sortFive(q.initial)
+			copy(q.heights[:], q.initial)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Find the cell of the new observation and update extreme heights.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if x < q.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.dWant[i]
+	}
+
+	// Adjust interior markers with parabolic (or linear) interpolation.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// Count returns the number of observed samples.
+func (q *P2Quantile) Count() int { return q.count }
+
+// Value returns the current quantile estimate. With fewer than five
+// samples it falls back to the exact order statistic of what it has.
+func (q *P2Quantile) Value() float64 {
+	if q.count == 0 {
+		return 0
+	}
+	if q.count < 5 {
+		tmp := make([]float64, len(q.initial))
+		copy(tmp, q.initial)
+		sortFive(tmp)
+		idx := int(q.p*float64(len(tmp))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return q.heights[2]
+}
+
+// ValueDuration returns the estimate as a time.Duration, for streams fed
+// through ObserveDuration.
+func (q *P2Quantile) ValueDuration() time.Duration {
+	return time.Duration(q.Value() * float64(time.Second))
+}
+
+func (q *P2Quantile) parabolic(i int, sign float64) float64 {
+	return q.heights[i] + sign/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+sign)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-sign)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return q.heights[i] + sign*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// sortFive insertion-sorts a tiny slice.
+func sortFive(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestP2RejectsBadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Fatalf("p=%v accepted", p)
+		}
+	}
+}
+
+func TestP2Empty(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Value() != 0 || q.Count() != 0 {
+		t.Fatal("empty estimator should be zero")
+	}
+}
+
+func TestP2SmallSampleExact(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Observe(3)
+	q.Observe(1)
+	q.Observe(2)
+	// Median of {1,2,3} = 2, computed exactly below 5 samples.
+	if got := q.Value(); got != 2 {
+		t.Fatalf("median of 3 samples = %v, want 2", got)
+	}
+}
+
+func TestP2MedianUniform(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		q.Observe(rng.Float64())
+	}
+	if got := q.Value(); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("median estimate = %v, want ~0.5", got)
+	}
+}
+
+func TestP2P99Exponential(t *testing.T) {
+	q, err := NewP2Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	exact := make([]float64, 0, 200000)
+	for i := 0; i < 200000; i++ {
+		x := rng.ExpFloat64()
+		q.Observe(x)
+		exact = append(exact, x)
+	}
+	sort.Float64s(exact)
+	want := exact[int(0.99*float64(len(exact)))]
+	if math.Abs(q.Value()-want)/want > 0.05 {
+		t.Fatalf("p99 estimate = %v, exact %v", q.Value(), want)
+	}
+}
+
+func TestP2Durations(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 999; i++ {
+		q.ObserveDuration(time.Duration(i) * time.Millisecond)
+	}
+	got := q.ValueDuration()
+	if got < 450*time.Millisecond || got > 550*time.Millisecond {
+		t.Fatalf("median duration = %v, want ~500ms", got)
+	}
+	if q.Count() != 999 {
+		t.Fatalf("count = %d", q.Count())
+	}
+}
+
+func TestP2BimodalStream(t *testing.T) {
+	// The CTQO latency shape: 99% fast (~2ms), 1% at ~3s. The p99.9 must
+	// land in the slow mode.
+	q, err := NewP2Quantile(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300000; i++ {
+		if rng.Float64() < 0.01 {
+			q.Observe(3.0 + rng.Float64()*0.2)
+		} else {
+			q.Observe(0.002 + rng.Float64()*0.001)
+		}
+	}
+	if got := q.Value(); got < 2.5 {
+		t.Fatalf("p99.9 of bimodal stream = %v, want in the 3s mode", got)
+	}
+}
+
+// Property: against a random stream, the P² estimate of the median stays
+// within the central region of the exact distribution, and the estimator
+// never leaves the observed range.
+func TestPropertyP2WithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		q, err := NewP2Quantile(0.5)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 2000; i++ {
+			x := rng.NormFloat64()*10 + 50
+			minV = math.Min(minV, x)
+			maxV = math.Max(maxV, x)
+			q.Observe(x)
+		}
+		v := q.Value()
+		if v < minV || v > maxV {
+			return false
+		}
+		// For N(50,10) the median estimate should land near 50.
+		return math.Abs(v-50) < 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+package ntier
+
+import "ctqosim/internal/simnet"
+
+// newCallWithReply builds a payload-less call that flips done on reply.
+func newCallWithReply(done *bool) *simnet.Call {
+	return &simnet.Call{
+		Payload: "not-a-request",
+		OnReply: func(any) { *done = true },
+	}
+}

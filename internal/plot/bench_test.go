@@ -1,0 +1,20 @@
+package plot
+
+import "testing"
+
+func BenchmarkRenderTimeline(b *testing.B) {
+	c := &Chart{Title: "bench", XLabel: "t", YLabel: "v"}
+	xs := make([]float64, 1400) // a 70s run at 50ms sampling
+	ys := make([]float64, 1400)
+	for i := range xs {
+		xs[i] = float64(i) * 0.05
+		ys[i] = float64(i % 300)
+	}
+	for i := 0; i < 3; i++ {
+		c.Add(Series{Name: "s", XS: xs, YS: ys})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.SVG()
+	}
+}

@@ -1,0 +1,414 @@
+// Package plot renders the reproduction's figures as static SVG — line
+// timelines (CPU utilization, queue depths with MaxSysQDepth reference
+// lines), per-window bar charts (VLRT counts) and the semi-log
+// response-time histogram of Fig. 1.
+//
+// Design rules follow a validated chart style: series hues are assigned in
+// a fixed order from a colorblind-checked palette (worst adjacent CVD
+// ΔE 37.7 on the light surface), every multi-series chart carries a legend
+// plus direct end-of-line labels, the grid is recessive, there is exactly
+// one y axis, and text is always ink-colored — never the series hue. The
+// companion CSVs written next to each SVG are the table view.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The validated light-mode palette, in fixed assignment order. Color
+// follows the entity: a chart's first declared series is always slot 0,
+// regardless of how many series end up drawn.
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#e34948", // red
+	"#4a3aa7", // violet
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+	"#008300", // green
+}
+
+// Ink and surface tokens.
+const (
+	surface       = "#fcfcfb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	gridColor     = "#e8e8e6"
+	axisColor     = "#c9c8c4"
+)
+
+// Series is one plotted data set.
+type Series struct {
+	// Name labels the series in the legend and the direct label.
+	Name string
+	// XS and YS are the data points; lengths must match.
+	XS, YS []float64
+}
+
+// RefLine is a horizontal dashed reference (e.g. MaxSysQDepth = 278).
+type RefLine struct {
+	// Label annotates the line.
+	Label string
+	// Y is the reference value.
+	Y float64
+}
+
+// Kind selects the mark.
+type Kind int
+
+// Chart kinds.
+const (
+	// Lines draws 2px polylines (timelines).
+	Lines Kind = iota + 1
+	// Bars draws one bar per point (frequency/count charts).
+	Bars
+)
+
+// Chart is a single-axis figure.
+type Chart struct {
+	// Title is the headline; XLabel/YLabel name the axes.
+	Title, XLabel, YLabel string
+	// Width and Height are the SVG dimensions; zero defaults to 800×320.
+	Width, Height int
+	// Kind selects lines or bars; zero defaults to Lines.
+	Kind Kind
+	// LogY switches the y axis to log10 (the Fig. 1 semi-log form). Values
+	// ≤ 0 are clamped to the axis floor.
+	LogY bool
+	// YMax, if positive, pins the y-axis top instead of auto-scaling.
+	YMax float64
+
+	series []Series
+	refs   []RefLine
+}
+
+// Add appends a series; the order of calls fixes hue assignment.
+func (c *Chart) Add(s Series) *Chart {
+	c.series = append(c.series, s)
+	return c
+}
+
+// Ref adds a horizontal reference line.
+func (c *Chart) Ref(label string, y float64) *Chart {
+	c.refs = append(c.refs, RefLine{Label: label, Y: y})
+	return c
+}
+
+// geometry constants
+const (
+	marginLeft   = 64
+	marginRight  = 140 // room for direct labels
+	marginTop    = 44
+	marginBottom = 48
+)
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 320
+	}
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	xMin, xMax, yMin, yMax := c.bounds()
+	xOf := func(x float64) float64 {
+		if xMax == xMin {
+			return marginLeft
+		}
+		return marginLeft + (x-xMin)/(xMax-xMin)*plotW
+	}
+	yOf := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(math.Max(y, yMin))
+			lo, hi := math.Log10(yMin), math.Log10(yMax)
+			return marginTop + plotH - (y-lo)/(hi-lo)*plotH
+		}
+		if yMax == yMin {
+			return marginTop + plotH
+		}
+		return marginTop + plotH - (y-yMin)/(yMax-yMin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, width, height, surface)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" fill="%s">%s</text>`,
+		marginLeft, textPrimary, escape(c.Title))
+
+	c.drawGridAndAxes(&b, width, height, xMin, xMax, yMin, yMax, xOf, yOf)
+	c.drawRefs(&b, width, yOf)
+	c.drawSeries(&b, xOf, yOf, plotW)
+	c.drawLegend(&b, width)
+
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// bounds computes the data extent across all series and reference lines.
+func (c *Chart) bounds() (xMin, xMax, yMin, yMax float64) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.XS {
+			xMin = math.Min(xMin, s.XS[i])
+			xMax = math.Max(xMax, s.XS[i])
+		}
+		for _, y := range s.YS {
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	for _, r := range c.refs {
+		yMax = math.Max(yMax, r.Y)
+	}
+	if math.IsInf(xMin, 1) {
+		xMin, xMax = 0, 1
+	}
+	if math.IsInf(yMin, 1) {
+		yMin, yMax = 0, 1
+	}
+	if c.LogY {
+		// Floor at 0.5 so zero counts sit on the axis; top at the next
+		// power of ten.
+		yMin = 0.5
+		yMax = math.Pow(10, math.Ceil(math.Log10(math.Max(yMax, 1))))
+	} else {
+		yMin = math.Min(yMin, 0)
+		if c.YMax > 0 {
+			yMax = c.YMax
+		} else {
+			yMax = niceCeil(yMax)
+		}
+		if yMax <= yMin {
+			yMax = yMin + 1
+		}
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	return xMin, xMax, yMin, yMax
+}
+
+func (c *Chart) drawGridAndAxes(b *strings.Builder, width, height int,
+	xMin, xMax, yMin, yMax float64, xOf, yOf func(float64) float64) {
+
+	// Horizontal grid at y ticks; labels on the left.
+	for _, tick := range c.yTicks(yMin, yMax) {
+		y := yOf(tick)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			marginLeft, y, width-marginRight, y, gridColor)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">%s</text>`,
+			marginLeft-8, y+4, textSecondary, formatTick(tick))
+	}
+	// X ticks.
+	for _, tick := range niceTicks(xMin, xMax, 8) {
+		x := xOf(tick)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`,
+			x, height-marginBottom, x, height-marginBottom+4, axisColor)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			x, height-marginBottom+18, textSecondary, formatTick(tick))
+	}
+	// Axis lines.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`,
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom, axisColor)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`,
+		marginLeft, marginTop, marginLeft, height-marginBottom, axisColor)
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" fill="%s" text-anchor="middle">%s</text>`,
+			marginLeft+int(float64(width-marginLeft-marginRight)/2), height-10,
+			textSecondary, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		midY := marginTop + (height-marginTop-marginBottom)/2
+		fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" fill="%s" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`,
+			midY, textSecondary, midY, escape(c.YLabel))
+	}
+}
+
+func (c *Chart) drawRefs(b *strings.Builder, width int, yOf func(float64) float64) {
+	for _, r := range c.refs {
+		y := yOf(r.Y)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1.5" stroke-dasharray="6 4"/>`,
+			marginLeft, y, width-marginRight, y, textSecondary)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" fill="%s">%s</text>`,
+			width-marginRight+6, y+4, textSecondary, escape(r.Label))
+	}
+}
+
+func (c *Chart) drawSeries(b *strings.Builder, xOf, yOf func(float64) float64, plotW float64) {
+	kind := c.Kind
+	if kind == 0 {
+		kind = Lines
+	}
+	for i, s := range c.series {
+		color := seriesColors[i%len(seriesColors)]
+		if len(s.XS) == 0 {
+			continue
+		}
+		switch kind {
+		case Bars:
+			c.drawBars(b, s, color, xOf, yOf, plotW)
+		default:
+			c.drawLine(b, s, color, xOf, yOf)
+		}
+		// Direct label at the last point (the relief rule for low-contrast
+		// hues): ink text beside a colored swatch dot.
+		lastX, lastY := xOf(s.XS[len(s.XS)-1]), yOf(s.YS[len(s.YS)-1])
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, lastX, lastY, color)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`,
+			lastX+6, lastY+4, textPrimary, escape(s.Name))
+	}
+}
+
+func (c *Chart) drawLine(b *strings.Builder, s Series, color string, xOf, yOf func(float64) float64) {
+	var pts strings.Builder
+	for i := range s.XS {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", xOf(s.XS[i]), yOf(s.YS[i]))
+	}
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`,
+		pts.String(), color)
+}
+
+func (c *Chart) drawBars(b *strings.Builder, s Series, color string, xOf, yOf func(float64) float64, plotW float64) {
+	// Bar width from point density, with a 2px surface gap.
+	barW := plotW / math.Max(float64(len(s.XS)), 1)
+	if barW > 14 {
+		barW = 14
+	}
+	if barW < 1 {
+		barW = 1
+	}
+	base := yOf(c.baseY())
+	for i := range s.XS {
+		if s.YS[i] <= c.baseY() {
+			continue
+		}
+		x := xOf(s.XS[i]) - barW/2
+		y := yOf(s.YS[i])
+		h := base - y
+		if h < 0.5 {
+			h = 0.5
+		}
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" rx="1" fill="%s" stroke="%s" stroke-width="1"/>`,
+			x, y, math.Max(barW-2, 0.8), h, color, surface)
+	}
+}
+
+// baseY is the bar baseline: 0 for linear charts, the log floor for
+// semi-log.
+func (c *Chart) baseY() float64 {
+	if c.LogY {
+		return 0.5
+	}
+	return 0
+}
+
+func (c *Chart) drawLegend(b *strings.Builder, width int) {
+	if len(c.series) < 2 {
+		return // a single series is named by the title
+	}
+	x := float64(width - marginRight + 6)
+	y := float64(marginTop)
+	for i, s := range c.series {
+		color := seriesColors[i%len(seriesColors)]
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="10" height="10" rx="2" fill="%s"/>`,
+			x, y-9, color)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`,
+			x+14, y, textPrimary, escape(s.Name))
+		y += 16
+	}
+}
+
+// yTicks picks tick positions: powers of ten for log scale, a nice 1-2-5
+// ladder otherwise.
+func (c *Chart) yTicks(yMin, yMax float64) []float64 {
+	if c.LogY {
+		var out []float64
+		top := int(math.Round(math.Log10(yMax)))
+		for e := 0; e <= top; e++ {
+			out = append(out, math.Pow(10, float64(e)))
+		}
+		return out
+	}
+	return niceTicks(yMin, yMax, 5)
+}
+
+// niceTicks returns ~n ticks on a 1-2-5 ladder covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 1 {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag <= 1:
+		step = mag
+	case rawStep/mag <= 2:
+		step = 2 * mag
+	case rawStep/mag <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for tick := math.Ceil(lo/step) * step; tick <= hi+step/1e6; tick += step {
+		out = append(out, tick)
+	}
+	return out
+}
+
+// niceCeil rounds up to a 1-2-5 ladder value.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SeriesColor exposes the fixed hue assignment for slot i (for callers
+// that print matching console output).
+func SeriesColor(i int) string {
+	if i < 0 {
+		i = 0
+	}
+	return seriesColors[i%len(seriesColors)]
+}

@@ -1,0 +1,198 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lineChart() *Chart {
+	c := &Chart{Title: "CPU utilization", XLabel: "time [s]", YLabel: "util"}
+	c.Add(Series{Name: "tomcat", XS: []float64{0, 1, 2, 3}, YS: []float64{0.7, 0.7, 1, 0.7}})
+	c.Add(Series{Name: "mysql", XS: []float64{0, 1, 2, 3}, YS: []float64{0.1, 0.1, 0.9, 0.1}})
+	return c
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	charts := []*Chart{
+		lineChart(),
+		func() *Chart {
+			c := &Chart{Title: "hist", Kind: Bars, LogY: true}
+			c.Add(Series{Name: "freq", XS: []float64{0, 1, 2, 3}, YS: []float64{100000, 0, 30, 5}})
+			return c
+		}(),
+		{Title: "empty"},
+	}
+	for _, c := range charts {
+		svg := c.SVG()
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("chart %q produced invalid XML: %v\n%s", c.Title, err, svg)
+			}
+		}
+	}
+}
+
+func TestSVGContainsSeriesAndLegend(t *testing.T) {
+	svg := lineChart().SVG()
+	for _, want := range []string{
+		"polyline", "tomcat", "mysql", "CPU utilization",
+		"#2a78d6", "#1baf7a", // fixed slot order
+		"time [s]",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series → two legend swatch rects + bar-free chart.
+	if strings.Count(svg, `width="10" height="10"`) != 2 {
+		t.Fatal("legend swatches missing")
+	}
+}
+
+func TestSingleSeriesHasNoLegend(t *testing.T) {
+	c := &Chart{Title: "one"}
+	c.Add(Series{Name: "only", XS: []float64{0, 1}, YS: []float64{1, 2}})
+	svg := c.SVG()
+	if strings.Contains(svg, `width="10" height="10"`) {
+		t.Fatal("single-series chart must not draw a legend box")
+	}
+	// But the direct label still names it.
+	if !strings.Contains(svg, "only") {
+		t.Fatal("direct label missing")
+	}
+}
+
+func TestRefLineRendered(t *testing.T) {
+	c := lineChart()
+	c.Ref("MaxSysQDepth=278", 278)
+	svg := c.SVG()
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Fatal("reference line not dashed")
+	}
+	if !strings.Contains(svg, "MaxSysQDepth=278") {
+		t.Fatal("reference label missing")
+	}
+}
+
+func TestBarsChart(t *testing.T) {
+	c := &Chart{Title: "vlrt", Kind: Bars}
+	c.Add(Series{Name: "count", XS: []float64{0, 1, 2}, YS: []float64{0, 5, 2}})
+	svg := c.SVG()
+	// Zero bars are skipped; two rects beyond surface+legend swatches.
+	if strings.Count(svg, "<rect") != 3 { // surface + 2 bars
+		t.Fatalf("unexpected rect count in:\n%s", svg)
+	}
+}
+
+func TestLogYTicksArePowersOfTen(t *testing.T) {
+	c := &Chart{Title: "semi-log", Kind: Bars, LogY: true}
+	c.Add(Series{Name: "freq", XS: []float64{0, 3, 6}, YS: []float64{50000, 300, 7}})
+	svg := c.SVG()
+	for _, want := range []string{">1<", ">100<", ">10k<"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("log ticks missing %q", want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{Title: `a<b & "c"`}
+	svg := c.SVG()
+	if strings.Contains(svg, `a<b`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatalf("escaped title missing:\n%s", svg)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 4 || ticks[0] != 0 || ticks[len(ticks)-1] != 100 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i]-ticks[i-1] != 20 {
+			t.Fatalf("uneven ticks: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 3); len(got) != 1 {
+		t.Fatalf("degenerate range ticks = %v", got)
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	tests := []struct{ give, want float64 }{
+		{0, 1}, {0.7, 1}, {1, 1}, {1.2, 2}, {3, 5}, {7, 10}, {278, 500}, {1103, 2000},
+	}
+	for _, tt := range tests {
+		if got := niceCeil(tt.give); got != tt.want {
+			t.Errorf("niceCeil(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{0, "0"}, {5, "5"}, {0.5, "0.5"}, {20000, "20k"}, {3e6, "3M"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.give); got != tt.want {
+			t.Errorf("formatTick(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSeriesColorFixedOrder(t *testing.T) {
+	if SeriesColor(0) != "#2a78d6" || SeriesColor(1) != "#1baf7a" {
+		t.Fatal("hue order changed; it is part of the CVD-safety contract")
+	}
+	if SeriesColor(8) != SeriesColor(0) {
+		t.Fatal("slot wrap-around broken")
+	}
+	if SeriesColor(-1) != SeriesColor(0) {
+		t.Fatal("negative slot not clamped")
+	}
+}
+
+// Property: rendering never panics and always produces a parseable SVG for
+// arbitrary finite data.
+func TestPropertySVGAlwaysParses(t *testing.T) {
+	f := func(ys []float64, logY, bars bool) bool {
+		xs := make([]float64, len(ys))
+		for i := range ys {
+			xs[i] = float64(i)
+			if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+				ys[i] = 0
+			}
+			ys[i] = math.Mod(ys[i], 1e6)
+		}
+		c := &Chart{Title: "prop", LogY: logY}
+		if bars {
+			c.Kind = Bars
+		}
+		c.Add(Series{Name: "s", XS: xs, YS: ys})
+		svg := c.SVG()
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

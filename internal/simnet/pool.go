@@ -1,0 +1,73 @@
+package simnet
+
+// ConnPool models a bounded connection pool such as Tomcat's JDBC pool
+// (size 50 in the paper's setup, Appendix A). A synchronous caller that
+// cannot get a connection waits in FIFO order — while continuing to occupy
+// its server thread, which is how database-side congestion backs up into
+// the application tier (Section V-B).
+type ConnPool struct {
+	size    int
+	inUse   int
+	waiters []func()
+
+	// MaxWaiting caps the wait queue; 0 means unbounded. The paper's pool
+	// waits are unbounded (the thread pool above bounds them in practice).
+	MaxWaiting int
+
+	peakWaiting int
+}
+
+// NewConnPool creates a pool with the given number of connections.
+func NewConnPool(size int) *ConnPool {
+	if size < 1 {
+		size = 1
+	}
+	return &ConnPool{size: size}
+}
+
+// Acquire runs fn as soon as a connection is available — immediately and
+// synchronously if the pool has a free connection, otherwise when one is
+// released. It returns false if the wait queue is full (fn will never run).
+func (p *ConnPool) Acquire(fn func()) bool {
+	if p.inUse < p.size {
+		p.inUse++
+		fn()
+		return true
+	}
+	if p.MaxWaiting > 0 && len(p.waiters) >= p.MaxWaiting {
+		return false
+	}
+	p.waiters = append(p.waiters, fn)
+	if len(p.waiters) > p.peakWaiting {
+		p.peakWaiting = len(p.waiters)
+	}
+	return true
+}
+
+// Release returns a connection to the pool, handing it to the oldest waiter
+// if any.
+func (p *ConnPool) Release() {
+	if len(p.waiters) > 0 {
+		next := p.waiters[0]
+		copy(p.waiters, p.waiters[1:])
+		p.waiters[len(p.waiters)-1] = nil
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		next()
+		return
+	}
+	if p.inUse > 0 {
+		p.inUse--
+	}
+}
+
+// Size returns the pool capacity.
+func (p *ConnPool) Size() int { return p.size }
+
+// InUse returns the number of connections currently held.
+func (p *ConnPool) InUse() int { return p.inUse }
+
+// Waiting returns the number of callers queued for a connection.
+func (p *ConnPool) Waiting() int { return len(p.waiters) }
+
+// PeakWaiting returns the maximum wait-queue length observed.
+func (p *ConnPool) PeakWaiting() int { return p.peakWaiting }

@@ -1,0 +1,450 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ctqosim/internal/des"
+)
+
+// fakeServer admits up to capacity concurrent calls and replies after a
+// fixed service delay.
+type fakeServer struct {
+	sim      *des.Simulator
+	name     string
+	capacity int
+	busy     int
+	service  time.Duration
+	accepted int
+	refuse   bool // force-refuse all calls
+}
+
+func (f *fakeServer) Name() string { return f.name }
+
+func (f *fakeServer) TryAccept(call *Call) bool {
+	if f.refuse || f.busy >= f.capacity {
+		return false
+	}
+	f.busy++
+	f.accepted++
+	f.sim.Schedule(f.service, func() {
+		f.busy--
+		if call.OnReply != nil {
+			call.OnReply("ok")
+		}
+	})
+	return true
+}
+
+type recordingListener struct {
+	drops, retx, delivered, gaveUp int
+}
+
+func (l *recordingListener) Dropped(string, *Call)       { l.drops++ }
+func (l *recordingListener) Retransmitted(string, *Call) { l.retx++ }
+func (l *recordingListener) Delivered(string, *Call)     { l.delivered++ }
+func (l *recordingListener) GaveUp(string, *Call)        { l.gaveUp++ }
+
+func TestSendDeliversAndReplies(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: 10 * time.Millisecond}
+
+	var reply any
+	var repliedAt time.Duration
+	tr.Send(srv, &Call{OnReply: func(r any) {
+		reply = r
+		repliedAt = sim.Now()
+	}})
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if reply != "ok" {
+		t.Fatalf("reply = %v, want ok", reply)
+	}
+	if repliedAt != 10*time.Millisecond {
+		t.Fatalf("replied at %v, want 10ms", repliedAt)
+	}
+	if got := tr.Stats("s"); got.Delivered != 1 || got.Dropped != 0 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestDropRetransmitsAfterRTO(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: 10 * time.Millisecond}
+
+	// Occupy the only slot for 4s so the second call's first attempt drops
+	// and its 3s retransmission succeeds.
+	srv.busy = 1
+	sim.Schedule(4*time.Second, func() { srv.busy = 0 })
+
+	var repliedAt time.Duration
+	call := &Call{OnReply: func(any) { repliedAt = sim.Now() }}
+	tr.Send(srv, call)
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Dropped at t=0, retransmitted at 3s (still busy → dropped), again at
+	// 6s (free) → service 10ms → reply at 6.01s.
+	want := 6*time.Second + 10*time.Millisecond
+	if repliedAt != want {
+		t.Fatalf("replied at %v, want %v", repliedAt, want)
+	}
+	if call.Retransmits() != 2 {
+		t.Fatalf("retransmits = %d, want 2", call.Retransmits())
+	}
+	if len(call.DroppedBy) != 2 || call.DroppedBy[0] != "s" {
+		t.Fatalf("DroppedBy = %v", call.DroppedBy)
+	}
+}
+
+func TestGiveUpAfterMaxAttempts(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	tr.MaxAttempts = 3
+	srv := &fakeServer{sim: sim, name: "s", refuse: true}
+
+	gaveUp := false
+	var gaveUpAt time.Duration
+	tr.Send(srv, &Call{OnGiveUp: func() {
+		gaveUp = true
+		gaveUpAt = sim.Now()
+	}})
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !gaveUp {
+		t.Fatal("OnGiveUp not invoked")
+	}
+	// Attempts at 0, 3, 6s: gave up at the third drop.
+	if gaveUpAt != 6*time.Second {
+		t.Fatalf("gave up at %v, want 6s", gaveUpAt)
+	}
+	s := tr.Stats("s")
+	if s.Dropped != 3 || s.Retransmits != 2 || s.GaveUp != 1 || s.Delivered != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCustomRTO(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	tr.RTO = time.Second
+	srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: time.Millisecond}
+	srv.busy = 1
+	sim.Schedule(500*time.Millisecond, func() { srv.busy = 0 })
+
+	var repliedAt time.Duration
+	tr.Send(srv, &Call{OnReply: func(any) { repliedAt = sim.Now() }})
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if repliedAt != time.Second+time.Millisecond {
+		t.Fatalf("replied at %v, want 1.001s", repliedAt)
+	}
+}
+
+func TestExponentialBackoff(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	tr.Backoff = true
+	tr.MaxAttempts = 4
+	srv := &fakeServer{sim: sim, name: "s", refuse: true}
+
+	var gaveUpAt time.Duration
+	tr.Send(srv, &Call{OnGiveUp: func() { gaveUpAt = sim.Now() }})
+	if err := sim.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Attempts at 0, 3, 3+6=9, 9+12=21s.
+	if gaveUpAt != 21*time.Second {
+		t.Fatalf("gave up at %v, want 21s", gaveUpAt)
+	}
+}
+
+func TestListenerEvents(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	tr.MaxAttempts = 2
+	l := &recordingListener{}
+	tr.Listener = l
+	srv := &fakeServer{sim: sim, name: "s", refuse: true}
+
+	tr.Send(srv, &Call{})
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if l.drops != 2 || l.retx != 1 || l.gaveUp != 1 || l.delivered != 0 {
+		t.Fatalf("listener = %+v", l)
+	}
+}
+
+func TestFirstSentStampedOnce(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: time.Millisecond}
+	srv.busy = 1
+	sim.Schedule(time.Second, func() { srv.busy = 0 })
+
+	call := &Call{OnReply: func(any) {}}
+	sim.Schedule(100*time.Millisecond, func() { tr.Send(srv, call) })
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if call.FirstSent != 100*time.Millisecond {
+		t.Fatalf("FirstSent = %v, want 100ms", call.FirstSent)
+	}
+}
+
+func TestTotalDropsAcrossDestinations(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	tr.MaxAttempts = 1
+	a := &fakeServer{sim: sim, name: "a", refuse: true}
+	b := &fakeServer{sim: sim, name: "b", refuse: true}
+	tr.Send(a, &Call{})
+	tr.Send(b, &Call{})
+	tr.Send(b, &Call{})
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.TotalDrops() != 3 {
+		t.Fatalf("TotalDrops = %d, want 3", tr.TotalDrops())
+	}
+	if len(tr.Destinations()) != 2 {
+		t.Fatalf("Destinations = %v", tr.Destinations())
+	}
+}
+
+func TestResponseTimeClusters(t *testing.T) {
+	// The Fig. 1 mechanism in miniature: a server with MaxSysQDepth 2
+	// receives a burst of 8 simultaneous calls. The overflow retransmits at
+	// 3s and, if dropped again, 6s — producing the multi-modal clusters.
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	srv := &fakeServer{sim: sim, name: "s", capacity: 2, service: 50 * time.Millisecond}
+
+	buckets := make(map[int]int) // response time rounded to seconds
+	for i := 0; i < 8; i++ {
+		call := &Call{}
+		call.OnReply = func(any) {
+			rt := sim.Now() - call.FirstSent
+			buckets[int(rt/time.Second)]++
+		}
+		tr.Send(srv, call)
+	}
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if buckets[0] == 0 || buckets[3] == 0 || buckets[6] == 0 {
+		t.Fatalf("expected clusters at 0s, 3s and 6s, got %v", buckets)
+	}
+}
+
+func TestConnPoolImmediateAcquire(t *testing.T) {
+	p := NewConnPool(2)
+	ran := 0
+	if !p.Acquire(func() { ran++ }) || !p.Acquire(func() { ran++ }) {
+		t.Fatal("Acquire refused with free connections")
+	}
+	if ran != 2 || p.InUse() != 2 {
+		t.Fatalf("ran=%d inUse=%d", ran, p.InUse())
+	}
+}
+
+func TestConnPoolWaitsFIFO(t *testing.T) {
+	p := NewConnPool(1)
+	var order []int
+	p.Acquire(func() { order = append(order, 0) })
+	p.Acquire(func() { order = append(order, 1) })
+	p.Acquire(func() { order = append(order, 2) })
+	if p.Waiting() != 2 {
+		t.Fatalf("Waiting = %d, want 2", p.Waiting())
+	}
+	p.Release()
+	p.Release()
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if p.PeakWaiting() != 2 {
+		t.Fatalf("PeakWaiting = %d, want 2", p.PeakWaiting())
+	}
+}
+
+func TestConnPoolReleaseBelowZero(t *testing.T) {
+	p := NewConnPool(1)
+	p.Release() // must not underflow
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", p.InUse())
+	}
+}
+
+func TestConnPoolMaxWaiting(t *testing.T) {
+	p := NewConnPool(1)
+	p.MaxWaiting = 1
+	p.Acquire(func() {})
+	if !p.Acquire(func() {}) {
+		t.Fatal("first waiter refused")
+	}
+	if p.Acquire(func() {}) {
+		t.Fatal("second waiter admitted past MaxWaiting")
+	}
+}
+
+// Property: the pool never has more than size connections in use, and every
+// accepted acquire eventually runs exactly once after enough releases.
+func TestPropertyConnPoolConservation(t *testing.T) {
+	f := func(ops []bool, size uint8) bool {
+		p := NewConnPool(int(size%8) + 1)
+		ran := 0
+		accepted := 0
+		for _, acquire := range ops {
+			if acquire {
+				if p.Acquire(func() { ran++ }) {
+					accepted++
+				}
+			} else {
+				p.Release()
+			}
+			if p.InUse() > p.Size() {
+				return false
+			}
+		}
+		// Drain all waiters.
+		for p.Waiting() > 0 {
+			p.Release()
+		}
+		return ran == accepted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a cooperative receiver, a call's total drops equal
+// attempts-1 when it eventually succeeds, and response time is
+// drops × RTO + service.
+func TestPropertyRetransmitArithmetic(t *testing.T) {
+	f := func(busyFor uint8) bool {
+		sim := des.NewSimulator(int64(busyFor))
+		tr := NewTransport(sim)
+		srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: time.Millisecond}
+		srv.busy = 1
+		release := time.Duration(busyFor) * 100 * time.Millisecond
+		sim.Schedule(release, func() { srv.busy = 0 })
+
+		var rt time.Duration
+		ok := false
+		call := &Call{}
+		call.OnReply = func(any) {
+			rt = sim.Now() - call.FirstSent
+			ok = true
+		}
+		tr.Send(srv, call)
+		if err := sim.Run(time.Hour); err != nil {
+			return false
+		}
+		if !ok {
+			// Gave up: all attempts dropped; that needs >12s of busy.
+			return release > 12*time.Second
+		}
+		want := time.Duration(call.Retransmits())*DefaultRTO + time.Millisecond
+		return rt == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelProfileApply(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	ModernLinux.Apply(tr)
+	if tr.RTO != time.Second || !tr.Backoff || tr.MaxAttempts != 6 {
+		t.Fatalf("modern profile not applied: %+v", tr)
+	}
+
+	RHEL6.Apply(tr)
+	if tr.RTO != 3*time.Second || tr.Backoff || tr.MaxAttempts != 5 {
+		t.Fatalf("rhel6 profile not applied: %+v", tr)
+	}
+	if RHEL6.Backlog != 128 {
+		t.Fatalf("RHEL6 backlog = %d, want the paper's 128", RHEL6.Backlog)
+	}
+}
+
+func TestKernelProfilesDifferInClusterPlacement(t *testing.T) {
+	// The same overload produces different cluster positions per kernel:
+	// RHEL6 puts the first retransmission at 3s, modern Linux at 1s.
+	place := func(p KernelProfile) time.Duration {
+		sim := des.NewSimulator(1)
+		tr := NewTransport(sim)
+		p.Apply(tr)
+		srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: time.Millisecond}
+		srv.busy = 1
+		sim.Schedule(500*time.Millisecond, func() { srv.busy = 0 })
+		var rt time.Duration
+		call := &Call{}
+		call.OnReply = func(any) { rt = sim.Now() - call.FirstSent }
+		tr.Send(srv, call)
+		if err := sim.Run(time.Minute); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rt
+	}
+	if got := place(RHEL6); got < 3*time.Second || got > 3100*time.Millisecond {
+		t.Fatalf("RHEL6 first retransmission at %v, want ~3s", got)
+	}
+	if got := place(ModernLinux); got < time.Second || got > 1100*time.Millisecond {
+		t.Fatalf("modern first retransmission at %v, want ~1s", got)
+	}
+}
+
+func TestNetworkLatency(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	tr.Latency = 200 * time.Microsecond
+	srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: time.Millisecond}
+
+	var repliedAt time.Duration
+	tr.Send(srv, &Call{OnReply: func(any) { repliedAt = sim.Now() }})
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// One-way latency before delivery + 1ms service. (The reply path in
+	// this fake is immediate.)
+	want := 200*time.Microsecond + time.Millisecond
+	if repliedAt != want {
+		t.Fatalf("replied at %v, want %v", repliedAt, want)
+	}
+}
+
+func TestNetworkLatencyAppliesToRetransmits(t *testing.T) {
+	sim := des.NewSimulator(1)
+	tr := NewTransport(sim)
+	tr.Latency = time.Millisecond
+	tr.RTO = time.Second
+	srv := &fakeServer{sim: sim, name: "s", capacity: 1, service: time.Millisecond}
+	srv.busy = 1
+	sim.Schedule(500*time.Millisecond, func() { srv.busy = 0 })
+
+	var repliedAt time.Duration
+	tr.Send(srv, &Call{OnReply: func(any) { repliedAt = sim.Now() }})
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// First attempt arrives at 1ms (dropped); retransmit waits 1s + 1ms
+	// latency → delivered at 1.002s, replies at 1.003s.
+	want := time.Millisecond + time.Second + time.Millisecond + time.Millisecond
+	if repliedAt != want {
+		t.Fatalf("replied at %v, want %v", repliedAt, want)
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctqosim/internal/des"
+	"ctqosim/internal/simnet"
+	"ctqosim/internal/workload"
+)
+
+// buildLog records a small fixed scenario: request 7 dropped twice then
+// delivered; request 9 delivered immediately.
+func buildLog(t *testing.T) *Log {
+	t.Helper()
+	sim := des.NewSimulator(1)
+	log := NewLog(sim)
+
+	call7 := &simnet.Call{Payload: &workload.Request{ID: 7}}
+	call9 := &simnet.Call{Payload: &workload.Request{ID: 9}}
+
+	call7.Attempts = 1
+	log.Dropped("apache", call7)
+	log.Retransmitted("apache", call7)
+	call9.Attempts = 1
+	log.Delivered("apache", call9)
+	sim.Schedule(3*time.Second, func() {
+		call7.Attempts = 2
+		log.Dropped("apache", call7)
+		log.Retransmitted("apache", call7)
+	})
+	sim.Schedule(6*time.Second, func() {
+		call7.Attempts = 3
+		log.Delivered("apache", call7)
+	})
+	if err := sim.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return log
+}
+
+func TestTimeline(t *testing.T) {
+	log := buildLog(t)
+	tl := log.Timeline(7)
+	if len(tl) != 5 {
+		t.Fatalf("timeline(7) = %d events, want 5", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].At < tl[i-1].At {
+			t.Fatal("timeline out of order")
+		}
+	}
+	if tl[0].Kind != KindDropped || tl[len(tl)-1].Kind != KindDelivered {
+		t.Fatalf("timeline shape wrong: %+v", tl)
+	}
+	if got := log.Timeline(9); len(got) != 1 {
+		t.Fatalf("timeline(9) = %d events, want 1", len(got))
+	}
+	if got := log.Timeline(12345); got != nil {
+		t.Fatalf("unknown request timeline = %v, want nil", got)
+	}
+}
+
+func TestRequestsWithDrops(t *testing.T) {
+	log := buildLog(t)
+	ids := log.RequestsWithDrops()
+	if len(ids) != 1 || ids[0] != 7 {
+		t.Fatalf("RequestsWithDrops = %v, want [7]", ids)
+	}
+}
+
+func TestSlowestByAttempts(t *testing.T) {
+	log := buildLog(t)
+	ids := log.SlowestByAttempts(10)
+	if len(ids) != 2 || ids[0] != 7 || ids[1] != 9 {
+		t.Fatalf("SlowestByAttempts = %v, want [7 9]", ids)
+	}
+	if got := log.SlowestByAttempts(1); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("SlowestByAttempts(1) = %v", got)
+	}
+}
+
+func TestFormatTimeline(t *testing.T) {
+	log := buildLog(t)
+	s := FormatTimeline(log.Timeline(7))
+	for _, want := range []string{"req 7:", "dropped at apache", "delivered to apache", "attempt 3", "6s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted timeline missing %q:\n%s", want, s)
+		}
+	}
+	if FormatTimeline(nil) != "(no events)" {
+		t.Fatal("empty timeline format wrong")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	log := buildLog(t)
+	var buf strings.Builder
+	if err := log.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+len(log.Events()) {
+		t.Fatalf("rows = %d, want header + %d", len(lines), len(log.Events()))
+	}
+	if lines[0] != "time_s,kind,server,request_id,attempt" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "dropped,apache,7,1") {
+		t.Fatalf("missing drop row:\n%s", out)
+	}
+}
+
+func TestDropsPerWindow(t *testing.T) {
+	log := buildLog(t)
+	// Drops for request 7 at t=0 and t=3s; 1s windows over 10s.
+	got := log.DropsPerWindow(int64(time.Second), int64(10*time.Second))
+	apache := got["apache"]
+	if apache == nil || len(apache) != 10 {
+		t.Fatalf("series = %v", got)
+	}
+	if apache[0] != 1 || apache[3] != 1 || apache[1] != 0 {
+		t.Fatalf("apache drops = %v", apache)
+	}
+	if log.DropsPerWindow(0, 10) != nil {
+		t.Fatal("invalid window accepted")
+	}
+}

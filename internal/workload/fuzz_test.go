@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadArrivalsCSV ensures the trace parser never panics and that
+// accepted traces survive a write/read round trip.
+func FuzzReadArrivalsCSV(f *testing.F) {
+	f.Add("time_s,class\n0.5,Static\n")
+	f.Add("1.0\n2.0\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("0.1,\"quoted,class\"\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		arrivals, err := ReadArrivalsCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteArrivalsCSV(&buf, arrivals); err != nil {
+			t.Fatalf("write of accepted trace failed: %v", err)
+		}
+		again, err := ReadArrivalsCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(arrivals) {
+			t.Fatalf("round trip length %d vs %d", len(again), len(arrivals))
+		}
+		for i := range again {
+			if again[i].At != arrivals[i].At {
+				t.Fatalf("arrival %d time drifted: %v vs %v", i, again[i].At, arrivals[i].At)
+			}
+		}
+	})
+}

@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"time"
+
+	"ctqosim/internal/des"
+	"ctqosim/internal/server"
+	"ctqosim/internal/simnet"
+)
+
+// Frontend is where generators send requests: the system's web tier plus
+// the transport that carries client packets (and retransmits their drops).
+type Frontend struct {
+	// Transport carries client→web packets.
+	Transport *simnet.Transport
+	// Target is the web tier's admission.
+	Target simnet.Admission
+}
+
+// BurstSpec adds burstiness to a closed-loop population, approximating the
+// index-of-dispersion knob of Mi et al. (ICAC'09): time is divided into
+// epochs; a rare "hot" epoch compresses think times by Index, a normal
+// epoch stretches them slightly to preserve the long-run average rate.
+type BurstSpec struct {
+	// Index is the burstiness index; 1 (or less) means no modulation.
+	Index float64
+	// Epoch is the modulation period; zero defaults to 1s.
+	Epoch time.Duration
+}
+
+const defaultBurstEpoch = time.Second
+
+// ClosedLoopConfig parameterizes a RUBBoS-style closed-loop population.
+type ClosedLoopConfig struct {
+	// Clients is the population size (the paper's "WL n").
+	Clients int
+	// ThinkTime is the mean exponential think time; zero defaults to
+	// DefaultThinkTime.
+	ThinkTime time.Duration
+	// Mix is the interaction mix; nil defaults to DefaultMix.
+	Mix *Mix
+	// Session, if non-nil, replaces the independent mix draw with a
+	// per-client Markov browsing session.
+	Session *SessionModel
+	// Burst, if non-nil with Index > 1, modulates think times.
+	Burst *BurstSpec
+	// Sink receives every completed request; may be nil.
+	Sink Sink
+}
+
+// ClosedLoop is a population of clients that think, send, and wait.
+type ClosedLoop struct {
+	sim   *des.Simulator
+	front Frontend
+	cfg   ClosedLoopConfig
+
+	hot     bool
+	nextID  uint64
+	started bool
+	stopped bool
+
+	sent      int64
+	completed int64
+	failed    int64
+}
+
+// NewClosedLoop creates a closed-loop generator; call Start to begin.
+func NewClosedLoop(sim *des.Simulator, front Frontend, cfg ClosedLoopConfig) *ClosedLoop {
+	if cfg.ThinkTime <= 0 {
+		cfg.ThinkTime = DefaultThinkTime
+	}
+	if cfg.Mix == nil {
+		cfg.Mix = DefaultMix()
+	}
+	return &ClosedLoop{sim: sim, front: front, cfg: cfg}
+}
+
+// Start launches the client population. Each client begins with a random
+// initial think so arrivals are spread out.
+func (c *ClosedLoop) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for i := 0; i < c.cfg.Clients; i++ {
+		st := &clientState{}
+		if c.cfg.Session != nil {
+			st.current = c.cfg.Session.Start
+		}
+		c.sim.Schedule(c.think(), func() { c.clientLoop(st) })
+	}
+	if c.cfg.Burst != nil && c.cfg.Burst.Index > 1 {
+		epoch := c.cfg.Burst.Epoch
+		if epoch <= 0 {
+			epoch = defaultBurstEpoch
+		}
+		des.NewTicker(c.sim, epoch, func(time.Duration) {
+			// Hot with probability 1/(2·Index): rare, intense epochs.
+			c.hot = c.sim.Rand().Float64() < 1/(2*c.cfg.Burst.Index)
+		})
+	}
+}
+
+// Stop prevents clients from sending further requests after their current
+// cycle.
+func (c *ClosedLoop) Stop() { c.stopped = true }
+
+// Sent returns the number of requests sent so far.
+func (c *ClosedLoop) Sent() int64 { return c.sent }
+
+// Completed returns the number of requests finished (including failures).
+func (c *ClosedLoop) Completed() int64 { return c.completed }
+
+// Failed returns the number of requests that gave up.
+func (c *ClosedLoop) Failed() int64 { return c.failed }
+
+// clientState is one client's session position.
+type clientState struct {
+	current string
+}
+
+func (c *ClosedLoop) clientLoop(st *clientState) {
+	if c.stopped {
+		return
+	}
+	class := c.cfg.Mix.Pick(c.sim.Rand())
+	if c.cfg.Session != nil {
+		class = c.cfg.Session.Class(st.current)
+	}
+	req := &Request{
+		ID:        c.nextID,
+		Class:     class,
+		Submitted: c.sim.Now(),
+	}
+	c.nextID++
+	c.sent++
+
+	nextCycle := func() {
+		if c.cfg.Session != nil {
+			st.current = c.cfg.Session.Next(c.sim.Rand(), st.current)
+		}
+		c.sim.Schedule(c.think(), func() { c.clientLoop(st) })
+	}
+	call := &simnet.Call{Payload: req}
+	call.OnReply = func(reply any) {
+		req.Completed = c.sim.Now()
+		if _, ok := reply.(server.Failure); ok {
+			req.Failed = true
+			c.failed++
+		}
+		c.completed++
+		c.record(req)
+		nextCycle()
+	}
+	call.OnGiveUp = func() {
+		req.Completed = c.sim.Now()
+		req.Failed = true
+		c.failed++
+		c.completed++
+		c.record(req)
+		nextCycle()
+	}
+	c.front.Transport.Send(c.front.Target, call)
+}
+
+func (c *ClosedLoop) record(req *Request) {
+	if c.cfg.Sink != nil {
+		c.cfg.Sink.Record(req)
+	}
+}
+
+// think draws the next think time, applying burst modulation.
+func (c *ClosedLoop) think() time.Duration {
+	mean := c.cfg.ThinkTime
+	if c.cfg.Burst != nil && c.cfg.Burst.Index > 1 {
+		if c.hot {
+			mean = time.Duration(float64(mean) / c.cfg.Burst.Index)
+		} else {
+			// Stretch cold epochs to keep the long-run rate near nominal:
+			// with p = 1/(2I) hot epochs at I× rate, cold epochs run at
+			// (1 - p·I)/(1 - p) = ~0.5× rate.
+			p := 1 / (2 * c.cfg.Burst.Index)
+			cold := (1 - p*c.cfg.Burst.Index) / (1 - p)
+			mean = time.Duration(float64(mean) / cold)
+		}
+	}
+	return time.Duration(c.sim.Rand().ExpFloat64() * float64(mean))
+}
+
+// BatchConfig parameterizes the paper's modified SysBursty generator: a
+// fixed batch of identical requests at fixed intervals, creating
+// reproducible millibottlenecks ("a batch of 400 ViewStory requests
+// arriving every 15 seconds", Section V-B).
+type BatchConfig struct {
+	// Size is the number of requests per batch.
+	Size int
+	// Interval is the batch period.
+	Interval time.Duration
+	// Offset delays the first batch; zero fires the first batch after one
+	// full interval.
+	Offset time.Duration
+	// Class is the interaction sent; zero value defaults to ViewStory.
+	Class Class
+	// Sink receives completed requests; may be nil.
+	Sink Sink
+}
+
+// Batch emits deterministic request bursts.
+type Batch struct {
+	sim    *des.Simulator
+	front  Frontend
+	cfg    BatchConfig
+	ticker *des.Ticker
+	nextID uint64
+	sent   int64
+}
+
+// NewBatch creates a batch generator; call Start to begin.
+func NewBatch(sim *des.Simulator, front Frontend, cfg BatchConfig) *Batch {
+	if cfg.Class.Name == "" {
+		cfg.Class = ClassViewStory
+	}
+	if cfg.Size < 1 {
+		cfg.Size = 1
+	}
+	return &Batch{sim: sim, front: front, cfg: cfg}
+}
+
+// Start schedules the periodic batches.
+func (b *Batch) Start() {
+	if b.ticker != nil {
+		return
+	}
+	fire := func(time.Duration) { b.fire() }
+	if b.cfg.Offset > 0 {
+		b.sim.Schedule(b.cfg.Offset, func() {
+			b.fire()
+			b.ticker = des.NewTicker(b.sim, b.cfg.Interval, fire)
+		})
+		return
+	}
+	b.ticker = des.NewTicker(b.sim, b.cfg.Interval, fire)
+}
+
+// Stop cancels future batches.
+func (b *Batch) Stop() {
+	if b.ticker != nil {
+		b.ticker.Stop()
+	}
+}
+
+// Sent returns the number of requests emitted.
+func (b *Batch) Sent() int64 { return b.sent }
+
+func (b *Batch) fire() {
+	for i := 0; i < b.cfg.Size; i++ {
+		req := &Request{ID: b.nextID, Class: b.cfg.Class, Submitted: b.sim.Now()}
+		b.nextID++
+		b.sent++
+		call := &simnet.Call{Payload: req}
+		call.OnReply = func(any) {
+			req.Completed = b.sim.Now()
+			if b.cfg.Sink != nil {
+				b.cfg.Sink.Record(req)
+			}
+		}
+		call.OnGiveUp = func() {
+			req.Completed = b.sim.Now()
+			req.Failed = true
+			if b.cfg.Sink != nil {
+				b.cfg.Sink.Record(req)
+			}
+		}
+		b.front.Transport.Send(b.front.Target, call)
+	}
+}
+
+// OpenLoopConfig parameterizes a Poisson source, useful for analytic
+// cross-checks against the closed-loop population.
+type OpenLoopConfig struct {
+	// Rate is the arrival rate in requests per second.
+	Rate float64
+	// Mix is the interaction mix; nil defaults to DefaultMix.
+	Mix *Mix
+	// Sink receives completed requests; may be nil.
+	Sink Sink
+}
+
+// OpenLoop is a Poisson request source.
+type OpenLoop struct {
+	sim     *des.Simulator
+	front   Frontend
+	cfg     OpenLoopConfig
+	stopped bool
+	nextID  uint64
+	sent    int64
+}
+
+// NewOpenLoop creates an open-loop generator; call Start to begin.
+func NewOpenLoop(sim *des.Simulator, front Frontend, cfg OpenLoopConfig) *OpenLoop {
+	if cfg.Mix == nil {
+		cfg.Mix = DefaultMix()
+	}
+	return &OpenLoop{sim: sim, front: front, cfg: cfg}
+}
+
+// Start begins Poisson arrivals.
+func (o *OpenLoop) Start() {
+	if o.cfg.Rate <= 0 {
+		return
+	}
+	o.scheduleNext()
+}
+
+// Stop halts future arrivals.
+func (o *OpenLoop) Stop() { o.stopped = true }
+
+// Sent returns the number of requests emitted.
+func (o *OpenLoop) Sent() int64 { return o.sent }
+
+func (o *OpenLoop) scheduleNext() {
+	gap := time.Duration(o.sim.Rand().ExpFloat64() / o.cfg.Rate * float64(time.Second))
+	o.sim.Schedule(gap, func() {
+		if o.stopped {
+			return
+		}
+		o.fireOne()
+		o.scheduleNext()
+	})
+}
+
+func (o *OpenLoop) fireOne() {
+	req := &Request{
+		ID:        o.nextID,
+		Class:     o.cfg.Mix.Pick(o.sim.Rand()),
+		Submitted: o.sim.Now(),
+	}
+	o.nextID++
+	o.sent++
+	call := &simnet.Call{Payload: req}
+	finish := func(failed bool) {
+		req.Completed = o.sim.Now()
+		req.Failed = failed
+		if o.cfg.Sink != nil {
+			o.cfg.Sink.Record(req)
+		}
+	}
+	call.OnReply = func(reply any) {
+		_, isFailure := reply.(server.Failure)
+		finish(isFailure)
+	}
+	call.OnGiveUp = func() { finish(true) }
+	o.front.Transport.Send(o.front.Target, call)
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctqosim/internal/des"
+)
+
+func TestReplayFiresAtRecordedTimes(t *testing.T) {
+	sim := des.NewSimulator(1)
+	srv := &instantServer{sim: sim}
+
+	var completions []time.Duration
+	arrivals := []Arrival{
+		{At: 300 * time.Millisecond, Class: "ViewStory"},
+		{At: 100 * time.Millisecond, Class: "Static"}, // out of order on purpose
+		{At: 200 * time.Millisecond},                  // unknown → mix fallback
+	}
+	classes := map[string]Class{
+		"ViewStory": ClassViewStory,
+		"Static":    ClassStatic,
+	}
+	rp := NewReplay(sim, front(sim, srv), arrivals, classes, nil,
+		SinkFunc(func(r *Request) { completions = append(completions, r.Submitted) }))
+	rp.Start()
+	if err := sim.Run(time.Second); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	if rp.Sent() != 3 {
+		t.Fatalf("sent = %d, want 3", rp.Sent())
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	for i, w := range want {
+		if completions[i] != w {
+			t.Fatalf("arrival %d at %v, want %v", i, completions[i], w)
+		}
+	}
+}
+
+func TestReplayClassResolution(t *testing.T) {
+	sim := des.NewSimulator(1)
+	srv := &instantServer{sim: sim}
+	var classes []string
+	rp := NewReplay(sim, front(sim, srv),
+		[]Arrival{{At: time.Millisecond, Class: "Static"}},
+		map[string]Class{"Static": ClassStatic}, nil,
+		SinkFunc(func(r *Request) { classes = append(classes, r.Class.Name) }))
+	rp.Start()
+	if err := sim.Run(time.Second); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(classes) != 1 || classes[0] != "Static" {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func TestArrivalsCSVRoundTrip(t *testing.T) {
+	arrivals := []Arrival{
+		{At: 1500 * time.Millisecond, Class: "ViewStory"},
+		{At: 2 * time.Second, Class: ""},
+	}
+	var buf strings.Builder
+	if err := WriteArrivalsCSV(&buf, arrivals); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadArrivalsCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip = %v", got)
+	}
+	if got[0].At != 1500*time.Millisecond || got[0].Class != "ViewStory" {
+		t.Fatalf("first = %+v", got[0])
+	}
+}
+
+func TestReadArrivalsCSVHeaderOptional(t *testing.T) {
+	got, err := ReadArrivalsCSV(strings.NewReader("0.5,Static\n1.0\n"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != 2 || got[0].At != 500*time.Millisecond {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadArrivalsCSVBadTime(t *testing.T) {
+	if _, err := ReadArrivalsCSV(strings.NewReader("time_s,class\nxyz,Static\n")); err == nil {
+		t.Fatal("bad time accepted")
+	}
+}

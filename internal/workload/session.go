@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transition is one weighted edge of a session model.
+type Transition struct {
+	// To is the name of the next interaction.
+	To string
+	// Weight is the relative probability of taking this edge.
+	Weight float64
+}
+
+// SessionModel is a first-order Markov model of a browsing session:
+// instead of drawing interactions independently from a mix, each client
+// walks the transition graph, the way real RUBBoS users navigate from the
+// front page into stories and comment threads. Mixes remain the default —
+// the paper's experiments only need the stationary rates — but sessions
+// make per-client request sequences realistic for extensions.
+type SessionModel struct {
+	// Start is the interaction every session begins with.
+	Start string
+	// Classes maps interaction names to their demand profiles.
+	Classes map[string]Class
+	// Transitions lists the outgoing edges per interaction. An
+	// interaction with no outgoing edges restarts the session.
+	Transitions map[string][]Transition
+}
+
+// Validate checks that the model is well formed: the start exists, every
+// edge references a known class, and all weights are positive.
+func (m *SessionModel) Validate() error {
+	if len(m.Classes) == 0 {
+		return fmt.Errorf("session: no classes")
+	}
+	if _, ok := m.Classes[m.Start]; !ok {
+		return fmt.Errorf("session: start %q is not a class", m.Start)
+	}
+	for from, edges := range m.Transitions {
+		if _, ok := m.Classes[from]; !ok {
+			return fmt.Errorf("session: transition source %q is not a class", from)
+		}
+		for _, e := range edges {
+			if _, ok := m.Classes[e.To]; !ok {
+				return fmt.Errorf("session: %q -> unknown class %q", from, e.To)
+			}
+			if e.Weight <= 0 {
+				return fmt.Errorf("session: %q -> %q has non-positive weight", from, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+// Next draws the interaction following current. Unknown or terminal
+// interactions restart at Start.
+func (m *SessionModel) Next(rng *rand.Rand, current string) string {
+	edges := m.Transitions[current]
+	if len(edges) == 0 {
+		return m.Start
+	}
+	var total float64
+	for _, e := range edges {
+		total += e.Weight
+	}
+	x := rng.Float64() * total
+	for _, e := range edges {
+		x -= e.Weight
+		if x < 0 {
+			return e.To
+		}
+	}
+	return edges[len(edges)-1].To
+}
+
+// Class returns the demand profile of an interaction, falling back to the
+// start's class for unknown names.
+func (m *SessionModel) Class(name string) Class {
+	if c, ok := m.Classes[name]; ok {
+		return c
+	}
+	return m.Classes[m.Start]
+}
+
+// StationaryMix estimates the long-run interaction frequencies of the
+// session model by a deterministic power iteration, returned as an
+// equivalent Mix. This is how a session model is calibrated against the
+// tier-utilization targets.
+func (m *SessionModel) StationaryMix() *Mix {
+	names := make([]string, 0, len(m.Classes))
+	index := make(map[string]int, len(m.Classes))
+	for name := range m.Classes {
+		names = append(names, name)
+	}
+	// Sort for determinism.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for i, name := range names {
+		index[name] = i
+	}
+
+	n := len(names)
+	prob := make([]float64, n)
+	prob[index[m.Start]] = 1
+	next := make([]float64, n)
+	for iter := 0; iter < 200; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for from, p := range prob {
+			if p == 0 {
+				continue
+			}
+			edges := m.Transitions[names[from]]
+			if len(edges) == 0 {
+				next[index[m.Start]] += p
+				continue
+			}
+			var total float64
+			for _, e := range edges {
+				total += e.Weight
+			}
+			for _, e := range edges {
+				next[index[e.To]] += p * e.Weight / total
+			}
+		}
+		prob, next = next, prob
+	}
+
+	mix := NewMix()
+	for i, name := range names {
+		if prob[i] > 0 {
+			mix.Add(m.Classes[name], prob[i])
+		}
+	}
+	return mix
+}
+
+// DefaultSessionModel returns a RUBBoS browsing session: the front page
+// leads into stories, stories into comments or back, with static assets
+// interleaved.
+func DefaultSessionModel() *SessionModel {
+	return &SessionModel{
+		Start: ClassStoriesOfTheDay.Name,
+		Classes: map[string]Class{
+			ClassStoriesOfTheDay.Name: ClassStoriesOfTheDay,
+			ClassViewStory.Name:       ClassViewStory,
+			ClassViewComment.Name:     ClassViewComment,
+			ClassStatic.Name:          ClassStatic,
+		},
+		Transitions: map[string][]Transition{
+			ClassStoriesOfTheDay.Name: {
+				{To: ClassViewStory.Name, Weight: 0.55},
+				{To: ClassStatic.Name, Weight: 0.30},
+				{To: ClassStoriesOfTheDay.Name, Weight: 0.15},
+			},
+			ClassViewStory.Name: {
+				{To: ClassViewComment.Name, Weight: 0.45},
+				{To: ClassViewStory.Name, Weight: 0.20},
+				{To: ClassStoriesOfTheDay.Name, Weight: 0.25},
+				{To: ClassStatic.Name, Weight: 0.10},
+			},
+			ClassViewComment.Name: {
+				{To: ClassViewStory.Name, Weight: 0.40},
+				{To: ClassViewComment.Name, Weight: 0.25},
+				{To: ClassStoriesOfTheDay.Name, Weight: 0.35},
+			},
+			ClassStatic.Name: {
+				{To: ClassStoriesOfTheDay.Name, Weight: 0.60},
+				{To: ClassViewStory.Name, Weight: 0.40},
+			},
+		},
+	}
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctqosim/internal/des"
+)
+
+func TestDefaultSessionModelValid(t *testing.T) {
+	if err := DefaultSessionModel().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSessionValidateRejectsBadModels(t *testing.T) {
+	base := func() *SessionModel {
+		return &SessionModel{
+			Start:   "a",
+			Classes: map[string]Class{"a": {Name: "a"}, "b": {Name: "b"}},
+			Transitions: map[string][]Transition{
+				"a": {{To: "b", Weight: 1}},
+			},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base model invalid: %v", err)
+	}
+
+	m := base()
+	m.Start = "missing"
+	if m.Validate() == nil {
+		t.Fatal("missing start accepted")
+	}
+
+	m = base()
+	m.Transitions["a"] = []Transition{{To: "nowhere", Weight: 1}}
+	if m.Validate() == nil {
+		t.Fatal("unknown destination accepted")
+	}
+
+	m = base()
+	m.Transitions["a"] = []Transition{{To: "b", Weight: 0}}
+	if m.Validate() == nil {
+		t.Fatal("zero weight accepted")
+	}
+
+	m = base()
+	m.Transitions["ghost"] = []Transition{{To: "b", Weight: 1}}
+	if m.Validate() == nil {
+		t.Fatal("unknown source accepted")
+	}
+
+	empty := &SessionModel{}
+	if empty.Validate() == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestSessionNextFollowsEdges(t *testing.T) {
+	m := &SessionModel{
+		Start:   "a",
+		Classes: map[string]Class{"a": {Name: "a"}, "b": {Name: "b"}},
+		Transitions: map[string][]Transition{
+			"a": {{To: "b", Weight: 1}},
+			// b is terminal: sessions restart at a.
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := m.Next(rng, "a"); got != "b" {
+		t.Fatalf("Next(a) = %q, want b", got)
+	}
+	if got := m.Next(rng, "b"); got != "a" {
+		t.Fatalf("Next(b) = %q, want restart at a", got)
+	}
+	if got := m.Next(rng, "unknown"); got != "a" {
+		t.Fatalf("Next(unknown) = %q, want restart", got)
+	}
+}
+
+func TestSessionClassFallback(t *testing.T) {
+	m := DefaultSessionModel()
+	if got := m.Class("not-a-class"); got.Name != m.Start {
+		t.Fatalf("fallback class = %q, want start", got.Name)
+	}
+	if got := m.Class(ClassViewStory.Name); got.Name != ClassViewStory.Name {
+		t.Fatal("known class lookup failed")
+	}
+}
+
+func TestStationaryMixSumsToOne(t *testing.T) {
+	mix := DefaultSessionModel().StationaryMix()
+	classes := mix.Classes()
+	if len(classes) != 4 {
+		t.Fatalf("stationary classes = %d, want 4", len(classes))
+	}
+	// All four interactions recur, so all stationary probabilities are
+	// positive; weights are probabilities summing to ~1 (checked through
+	// MeanDemands being finite and positive).
+	_, app, _ := mix.MeanDemands()
+	if app <= 0 {
+		t.Fatal("stationary mix has zero app demand")
+	}
+}
+
+func TestStationaryMixMatchesSimulatedFrequencies(t *testing.T) {
+	// Walk the chain directly and compare empirical frequencies to the
+	// power-iteration stationary distribution.
+	m := DefaultSessionModel()
+	rng := rand.New(rand.NewSource(7))
+	counts := make(map[string]int)
+	state := m.Start
+	const steps = 200000
+	for i := 0; i < steps; i++ {
+		counts[state]++
+		state = m.Next(rng, state)
+	}
+
+	stationary := m.StationaryMix()
+	// Re-derive the stationary probability of ViewStory from the mix by
+	// sampling it.
+	sampleCounts := make(map[string]int)
+	for i := 0; i < steps; i++ {
+		sampleCounts[stationary.Pick(rng).Name]++
+	}
+	for _, name := range []string{ClassViewStory.Name, ClassStatic.Name} {
+		walk := float64(counts[name]) / steps
+		mix := float64(sampleCounts[name]) / steps
+		if math.Abs(walk-mix) > 0.02 {
+			t.Errorf("%s: walk frequency %.3f vs stationary mix %.3f", name, walk, mix)
+		}
+	}
+}
+
+func TestClosedLoopWithSession(t *testing.T) {
+	sim := des.NewSimulator(11)
+	srv := &instantServer{sim: sim}
+
+	var classes []string
+	cl := NewClosedLoop(sim, front(sim, srv), ClosedLoopConfig{
+		Clients:   1,
+		ThinkTime: 10 * time.Millisecond,
+		Session:   DefaultSessionModel(),
+		Sink:      SinkFunc(func(r *Request) { classes = append(classes, r.Class.Name) }),
+	})
+	cl.Start()
+	if err := sim.Run(30 * time.Second); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(classes) < 100 {
+		t.Fatalf("completed %d requests", len(classes))
+	}
+	// The first request of the session is the start interaction.
+	if classes[0] != ClassStoriesOfTheDay.Name {
+		t.Fatalf("first interaction = %q, want start", classes[0])
+	}
+	// Every observed transition must be a legal edge (or a restart).
+	m := DefaultSessionModel()
+	legal := func(from, to string) bool {
+		for _, e := range m.Transitions[from] {
+			if e.To == to {
+				return true
+			}
+		}
+		return len(m.Transitions[from]) == 0 && to == m.Start
+	}
+	for i := 1; i < len(classes); i++ {
+		if !legal(classes[i-1], classes[i]) {
+			t.Fatalf("illegal transition %q -> %q", classes[i-1], classes[i])
+		}
+	}
+}
+
+func TestClosedLoopSessionPerClientState(t *testing.T) {
+	// Multiple clients walk independent sessions: with many clients the
+	// interaction frequencies approach the stationary mix rather than
+	// everyone staying in lockstep.
+	sim := des.NewSimulator(13)
+	srv := &instantServer{sim: sim}
+
+	counts := make(map[string]int)
+	total := 0
+	cl := NewClosedLoop(sim, front(sim, srv), ClosedLoopConfig{
+		Clients:   200,
+		ThinkTime: 50 * time.Millisecond,
+		Session:   DefaultSessionModel(),
+		Sink: SinkFunc(func(r *Request) {
+			counts[r.Class.Name]++
+			total++
+		}),
+	})
+	cl.Start()
+	if err := sim.Run(time.Minute); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	if total < 10000 {
+		t.Fatalf("total = %d", total)
+	}
+	for name, c := range counts {
+		share := float64(c) / float64(total)
+		if share < 0.05 || share > 0.60 {
+			t.Errorf("%s share = %.2f, implausible for the browsing chain", name, share)
+		}
+	}
+}
