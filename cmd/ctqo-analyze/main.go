@@ -1,20 +1,28 @@
 // Command ctqo-analyze runs a scenario with full transport tracing and
 // prints the micro-level event analysis of Section IV: every detected
-// millibottleneck, the drops it caused, and its CTQO classification.
+// millibottleneck, the drops it caused, and its CTQO classification —
+// plus, with -spans/-breakdown/-perfetto, the per-request span-tree view
+// of the same story.
 //
 // Usage:
 //
 //	ctqo-analyze [-nx 0] [-clients 7000] [-bottleneck app|db] [-kind cpu|io] [-duration 60s]
+//	ctqo-analyze -scenario fig3 -breakdown
+//	ctqo-analyze -scenario fig3 -spans -exemplars 3
+//	ctqo-analyze -scenario fig3 -perfetto trace.json -waterfall tail.svg
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"ctqosim/internal/core"
 	"ctqosim/internal/ntier"
+	"ctqosim/internal/span"
 )
 
 func main() {
@@ -32,35 +40,68 @@ func run(args []string) error {
 	kind := fs.String("kind", "cpu", "millibottleneck kind: cpu (consolidation) or io (log flush)")
 	duration := fs.Duration("duration", 60*time.Second, "measured duration")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	scenario := fs.String("scenario", "", "run a named scenario instead of the flag-built config (see ntierlab list)")
+	spans := fs.Bool("spans", false, "print span trees of the slowest tail exemplars")
+	exemplars := fs.Int("exemplars", 3, "how many tail exemplars -spans prints")
+	breakdown := fs.Bool("breakdown", false, "print the critical-path breakdown table (per-decile % in queue wait / service / retransmission)")
+	perfetto := fs.String("perfetto", "", "write tail-exemplar traces as Chrome trace-event JSON (load at ui.perfetto.dev)")
+	waterfall := fs.String("waterfall", "", "write the slowest exemplar as a waterfall SVG")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *nx < 0 || *nx > 3 {
-		return fmt.Errorf("nx must be 0-3, got %d", *nx)
-	}
 
-	tier, err := parseTier(*bottleneck)
-	if err != nil {
-		return err
-	}
-	cfg := core.Config{
-		Name:     fmt.Sprintf("ctqo-analyze NX=%d, %s millibottleneck in %s", *nx, *kind, tier),
-		NX:       ntier.NX(*nx),
-		Clients:  *clients,
-		Duration: *duration,
-		Seed:     *seed,
-		Trace:    true,
-	}
-	switch *kind {
-	case "cpu":
-		cfg.Consolidation = &core.ConsolidationSpec{Tier: tier}
-	case "io":
-		cfg.LogFlush = &core.LogFlushSpec{Tier: tier}
-		if tier == core.TierDB {
-			cfg.AppCores = 4 // the paper's Fig. 5 setup
+	wantSpans := *spans || *breakdown || *perfetto != "" || *waterfall != ""
+
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	var cfg core.Config
+	if *scenario != "" {
+		named, ok := core.Scenarios()[*scenario]
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (see ntierlab list)", *scenario)
 		}
-	default:
-		return fmt.Errorf("kind must be cpu or io, got %q", *kind)
+		cfg = named
+		// Explicit flags override the scenario's values.
+		if setFlags["seed"] {
+			cfg.Seed = *seed
+		}
+		if setFlags["duration"] {
+			cfg.Duration = *duration
+		}
+		if setFlags["clients"] {
+			cfg.Clients = *clients
+		}
+	} else {
+		if *nx < 0 || *nx > 3 {
+			return fmt.Errorf("nx must be 0-3, got %d", *nx)
+		}
+		tier, err := parseTier(*bottleneck)
+		if err != nil {
+			return err
+		}
+		cfg = core.Config{
+			Name:     fmt.Sprintf("ctqo-analyze NX=%d, %s millibottleneck in %s", *nx, *kind, tier),
+			NX:       ntier.NX(*nx),
+			Clients:  *clients,
+			Duration: *duration,
+			Seed:     *seed,
+			Trace:    true,
+		}
+		switch *kind {
+		case "cpu":
+			cfg.Consolidation = &core.ConsolidationSpec{Tier: tier}
+		case "io":
+			cfg.LogFlush = &core.LogFlushSpec{Tier: tier}
+			if tier == core.TierDB {
+				cfg.AppCores = 4 // the paper's Fig. 5 setup
+			}
+		default:
+			return fmt.Errorf("kind must be cpu or io, got %q", *kind)
+		}
+	}
+	if wantSpans {
+		cfg.Spans = true
 	}
 
 	res, err := core.New(cfg).Run()
@@ -68,14 +109,134 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println(res.Summary())
-	fmt.Println(res.Report)
+	if res.Report != nil {
+		fmt.Println(res.Report)
+		if eps := res.Report.CTQOEpisodes(); len(eps) == 0 {
+			fmt.Println("verdict: no CTQO — the millibottlenecks were absorbed without drops")
+		} else {
+			fmt.Printf("verdict: %d CTQO episode(s); see the classification above\n", len(eps))
+		}
+	}
 
-	if eps := res.Report.CTQOEpisodes(); len(eps) == 0 {
-		fmt.Println("verdict: no CTQO — the millibottlenecks were absorbed without drops")
-	} else {
-		fmt.Printf("verdict: %d CTQO episode(s); see the classification above\n", len(eps))
+	if *breakdown {
+		fmt.Println(res.SpanBreakdown)
+		printAttribution(res)
+	}
+	if *spans {
+		printExemplars(res, *exemplars)
+	}
+	if *perfetto != "" {
+		if err := writePerfetto(res, *perfetto); err != nil {
+			return err
+		}
+	}
+	if *waterfall != "" {
+		if err := writeWaterfall(res, *waterfall); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// printAttribution states the tail verdict: how much of the slowest
+// requests' time was waiting rather than working.
+func printAttribution(res *core.Result) {
+	b := res.SpanBreakdown
+	if b == nil {
+		fmt.Println("span verdict: no traces recorded")
+		return
+	}
+	row := b.VLRT
+	if row.Count == 0 {
+		row = b.P999
+	}
+	fmt.Printf("span verdict: %s requests spent %.1f%% of their time waiting "+
+		"(%.1f%% in retransmission gaps, %.1f%% in queues/pools) and only "+
+		"%.1f%% in service\n",
+		row.Label, 100*row.WaitShare(),
+		100*row.Share(span.KindRetransmit),
+		100*(row.Share(span.KindQueueWait)+row.Share(span.KindPoolWait)),
+		100*row.Share(span.KindService))
+}
+
+// printExemplars renders the n slowest kept span trees, cross-linking each
+// retransmission gap to the dropping server.
+func printExemplars(res *core.Result, n int) {
+	ex := res.TailExemplars(n)
+	if len(ex) == 0 {
+		fmt.Println("no tail exemplars (no request exceeded the tail threshold)")
+		return
+	}
+	fmt.Printf("slowest %d of %d kept tail exemplars:\n\n", len(ex), len(res.TailExemplars(0)))
+	for _, t := range ex {
+		fmt.Print(t.Tree())
+		if who := dropSummary(t); who != "" {
+			fmt.Printf("  ^ retransmission gaps caused by: %s\n", who)
+		}
+		fmt.Println()
+	}
+}
+
+// dropSummary aggregates a trace's retransmission gaps by dropping server.
+func dropSummary(t *span.Trace) string {
+	counts := map[string]int{}
+	for _, s := range t.Spans() {
+		if s.Kind == span.KindRetransmit {
+			counts[s.Tier]++
+		}
+	}
+	if len(counts) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s (%d gap(s))", name, counts[name]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// writePerfetto exports all kept tail exemplars (or the reservoir when the
+// tail is empty) as Chrome trace-event JSON.
+func writePerfetto(res *core.Result, path string) error {
+	traces := res.TailExemplars(0)
+	if len(traces) == 0 {
+		traces = res.Spans.Reservoir()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := span.WriteTraceEvents(f, traces); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote %d trace(s) to %s — load it at https://ui.perfetto.dev\n",
+		len(traces), path)
+	return f.Close()
+}
+
+// writeWaterfall renders the slowest exemplar as an SVG.
+func writeWaterfall(res *core.Result, path string) error {
+	ex := res.TailExemplars(1)
+	if len(ex) == 0 {
+		return fmt.Errorf("no tail exemplar to render")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := core.WriteWaterfallSVG(f, ex[0]); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote waterfall of request %d (%v) to %s\n",
+		ex[0].RequestID, ex[0].ResponseTime().Round(time.Millisecond), path)
+	return f.Close()
 }
 
 func parseTier(s string) (core.Tier, error) {

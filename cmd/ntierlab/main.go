@@ -73,6 +73,7 @@ func runScenario(args []string) error {
 	seed := fs.Int64("seed", 0, "override RNG seed")
 	csvDir := fs.String("csv", "", "write timeline CSVs into this directory")
 	asJSON := fs.Bool("json", false, "emit the machine-readable summary instead of text")
+	spans := fs.Bool("spans", false, "record per-request span traces and print the critical-path breakdown")
 
 	if len(args) == 0 {
 		return fmt.Errorf("usage: ntierlab run <scenario> [flags]")
@@ -90,6 +91,9 @@ func runScenario(args []string) error {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *spans {
+		cfg.Spans = true
 	}
 
 	start := time.Now()
@@ -110,6 +114,9 @@ func runScenario(args []string) error {
 	fmt.Println(res.Summary())
 	if res.Report != nil {
 		fmt.Println(res.Report)
+	}
+	if res.SpanBreakdown != nil {
+		fmt.Println(res.SpanBreakdown)
 	}
 	printHistogram(res)
 	if *csvDir != "" {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -50,6 +53,81 @@ func TestRunDispatchErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), tt.want) {
 			t.Errorf("run(%v) = %q, want containing %q", tt.args, err, tt.want)
 		}
+	}
+}
+
+// TestRunJSONEchoesEffectiveConfig checks the reproducibility contract of
+// -json: the emitted summary carries the resolved seed and every effective
+// knob (defaults applied, kernel profile folded in), plus the span
+// breakdown when -spans is on.
+func TestRunJSONEchoesEffectiveConfig(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	// Drain concurrently so a summary larger than the pipe buffer cannot
+	// block the writer.
+	outCh := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outCh <- data
+	}()
+	runErr := run([]string{"run", "fig1-wl4000", "-json", "-spans", "-duration", "10s"})
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+
+	var got struct {
+		Seed            int64 `json:"seed"`
+		EffectiveConfig struct {
+			Seed             int64   `json:"seed"`
+			Clients          int     `json:"clients"`
+			ThinkTimeSeconds float64 `json:"thinkTimeSeconds"`
+			WarmUpSeconds    float64 `json:"warmUpSeconds"`
+			DurationSeconds  float64 `json:"durationSeconds"`
+			RTOSeconds       float64 `json:"rtoSeconds"`
+			MaxAttempts      int     `json:"maxAttempts"`
+			Spans            bool    `json:"spans"`
+		} `json:"effectiveConfig"`
+		SpanBreakdown *struct {
+			Requests int `json:"requests"`
+		} `json:"spanBreakdown"`
+	}
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	ec := got.EffectiveConfig
+	if ec.Seed != 1 || got.Seed != ec.Seed {
+		t.Errorf("resolved seed = %d (summary %d), want 1", ec.Seed, got.Seed)
+	}
+	if ec.Clients != 4000 {
+		t.Errorf("clients = %d, want 4000", ec.Clients)
+	}
+	if ec.ThinkTimeSeconds != 7 {
+		t.Errorf("thinkTimeSeconds = %v, want the defaulted 7", ec.ThinkTimeSeconds)
+	}
+	if ec.WarmUpSeconds != 10 {
+		t.Errorf("warmUpSeconds = %v, want the defaulted 10", ec.WarmUpSeconds)
+	}
+	if ec.DurationSeconds != 10 {
+		t.Errorf("durationSeconds = %v, want the overridden 10", ec.DurationSeconds)
+	}
+	if ec.RTOSeconds != 3 {
+		t.Errorf("rtoSeconds = %v, want the default 3", ec.RTOSeconds)
+	}
+	if ec.MaxAttempts != 5 {
+		t.Errorf("maxAttempts = %d, want the default 5", ec.MaxAttempts)
+	}
+	if !ec.Spans {
+		t.Error("effectiveConfig.spans = false, want true under -spans")
+	}
+	if got.SpanBreakdown == nil || got.SpanBreakdown.Requests == 0 {
+		t.Error("spanBreakdown missing or empty under -spans")
 	}
 }
 

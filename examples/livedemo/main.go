@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ctqosim/internal/live"
+	"ctqosim/internal/span"
 )
 
 const (
@@ -31,42 +32,54 @@ func main() {
 	fmt.Printf("burst of %d requests against MaxSysQDepth %d (sync) — RTO %v\n\n",
 		burst, workers+workers, rto)
 
-	syncOutcomes, syncDrops := runSystem(true /* sync */)
-	asyncOutcomes, asyncDrops := runSystem(false)
+	syncCol := live.NewCollector()
+	syncOutcomes, syncDrops := runSystem(true /* sync */, syncCol)
+	asyncOutcomes, asyncDrops := runSystem(false, nil)
 
 	fmt.Printf("%-22s %-8s %-10s %-10s %-10s\n",
 		"architecture", "drops", "retried", "p50", "max")
 	report("synchronous", syncOutcomes, syncDrops)
 	report("asynchronous", asyncOutcomes, asyncDrops)
 
+	// The collector turns the wall-clock intervals into span trees: the
+	// slowest request decomposes into its retransmission gaps on sight.
+	tr := syncCol.Assemble(span.TracerConfig{Seed: 1, TailThreshold: rto})
+	if ex := tr.TailExemplars(); len(ex) > 0 {
+		fmt.Println("\nslowest synchronous request, span by span:")
+		fmt.Print(ex[0].Tree())
+	}
+
 	fmt.Println("\nThe synchronous overflow comes back one RTO later — the same")
 	fmt.Println("multi-modal latency the paper measures with 3s kernel timers.")
 }
 
 // runSystem builds web→app→db on localhost and fires the burst.
-func runSystem(sync bool) ([]live.Outcome, int64) {
+func runSystem(sync bool, col *live.Collector) ([]live.Outcome, int64) {
 	queue := workers // bounded, like the TCP backlog
 	if !sync {
 		queue = 10000 // LiteQDepth
 	}
-	tier := func(downstream string) *live.Server {
+	tier := func(name, downName, downstream string) *live.Server {
 		s, err := live.Serve(live.Config{
-			Addr:       "127.0.0.1:0",
-			Sync:       sync,
-			Workers:    workers,
-			Queue:      queue,
-			Downstream: downstream,
-			RTO:        rto,
-			IOTimeout:  ioLimit,
+			Addr:           "127.0.0.1:0",
+			Sync:           sync,
+			Workers:        workers,
+			Queue:          queue,
+			Downstream:     downstream,
+			RTO:            rto,
+			IOTimeout:      ioLimit,
+			Name:           name,
+			DownstreamName: downName,
+			Collector:      col,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		return s
 	}
-	db := tier("")
-	app := tier(db.Addr())
-	web := tier(app.Addr())
+	db := tier("db", "", "")
+	app := tier("app", "db", db.Addr())
+	web := tier("web", "app", app.Addr())
 	defer func() {
 		for _, s := range []*live.Server{web, app, db} {
 			if err := s.Close(); err != nil {
@@ -75,7 +88,8 @@ func runSystem(sync bool) ([]live.Outcome, int64) {
 		}
 	}()
 
-	client := live.Client{Target: web.Addr(), RTO: rto, MaxAttempts: 10, IOTimeout: ioLimit}
+	client := live.Client{Target: web.Addr(), RTO: rto, MaxAttempts: 10,
+		IOTimeout: ioLimit, Name: "web", Collector: col}
 	outcomes := live.RunLoad(client, burst, []time.Duration{service, appSleep, dbSleep})
 	drops := web.Stats().Dropped() + app.Stats().Dropped() + db.Stats().Dropped()
 	return outcomes, drops

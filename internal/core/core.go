@@ -15,6 +15,7 @@ import (
 	"ctqosim/internal/metrics"
 	"ctqosim/internal/ntier"
 	"ctqosim/internal/simnet"
+	"ctqosim/internal/span"
 	"ctqosim/internal/trace"
 	"ctqosim/internal/workload"
 )
@@ -233,6 +234,17 @@ type Config struct {
 	// Trace enables the micro-level event log and CTQO analysis.
 	Trace bool
 
+	// Spans enables per-request span-tree tracing: every tier records
+	// queue-wait, service, downstream and retransmission-gap spans, and the
+	// result carries the critical-path breakdown plus tail exemplars.
+	Spans bool
+	// SpanTailThreshold is the keep-full-tree latency bound; zero defaults
+	// to span.DefaultTailThreshold (1s).
+	SpanTailThreshold time.Duration
+	// SpanReservoir is the normal-trace reservoir size; zero defaults to
+	// span.DefaultReservoir.
+	SpanReservoir int
+
 	// Tweak, if non-nil, may adjust the steady system spec before build —
 	// the escape hatch for ablations.
 	Tweak func(*ntier.SystemSpec)
@@ -274,6 +286,11 @@ type Result struct {
 	TraceLog *trace.Log
 	// Report is the CTQO causal analysis, nil unless Config.Trace.
 	Report *trace.Report
+	// Spans is the per-request span tracer, nil unless Config.Spans.
+	Spans *span.Tracer
+	// SpanBreakdown is the critical-path decile table, nil unless
+	// Config.Spans produced finished traces.
+	SpanBreakdown *span.Breakdown
 
 	// End is the total simulated time (warm-up + duration).
 	End time.Duration
@@ -326,4 +343,14 @@ func (r *Result) VLRTSeries(server string) []int {
 // QueueSeries returns a steady server's queued-requests timeline.
 func (r *Result) QueueSeries(server string) *metrics.Series {
 	return r.Monitor.Queue(server)
+}
+
+// TailExemplars returns up to n of the slowest fully-kept span traces
+// (all of them for n <= 0). Nil unless the run had Config.Spans.
+func (r *Result) TailExemplars(n int) []*span.Trace {
+	ex := r.Spans.TailExemplars()
+	if n > 0 && len(ex) > n {
+		ex = ex[:n]
+	}
+	return ex
 }

@@ -11,6 +11,7 @@ import (
 	"ctqosim/internal/fault"
 	"ctqosim/internal/metrics"
 	"ctqosim/internal/ntier"
+	"ctqosim/internal/span"
 	"ctqosim/internal/trace"
 	"ctqosim/internal/workload"
 )
@@ -110,6 +111,15 @@ func (e *Experiment) Run() (*Result, error) {
 		steady.Transport.Listener = log
 	}
 
+	var tracer *span.Tracer
+	if cfg.Spans {
+		tracer = span.NewTracer(sim.Now, span.TracerConfig{
+			Seed:          cfg.Seed,
+			TailThreshold: cfg.SpanTailThreshold,
+			Reservoir:     cfg.SpanReservoir,
+		})
+	}
+
 	// --- steady workload -----------------------------------------------
 	rec := metrics.NewRecorder()
 	rec.WarmUp = cfg.WarmUp
@@ -119,6 +129,7 @@ func (e *Experiment) Run() (*Result, error) {
 		Mix:       cfg.Mix,
 		Burst:     cfg.Burst,
 		Sink:      rec,
+		Tracer:    tracer,
 	})
 	cl.Start()
 
@@ -216,6 +227,10 @@ func (e *Experiment) Run() (*Result, error) {
 		}
 		res.Report = analyzer.Analyze(mon, steady.TierNames(), log)
 	}
+	if tracer != nil {
+		res.Spans = tracer
+		res.SpanBreakdown = tracer.Breakdown()
+	}
 	return res, nil
 }
 
@@ -275,5 +290,14 @@ func (r *Result) Summary() string {
 		r.Recorder.Percentile(0.99).Round(time.Millisecond),
 		r.Recorder.Percentile(0.999).Round(time.Millisecond),
 		r.Recorder.Percentile(1).Round(time.Millisecond))
+	if bd := r.SpanBreakdown; bd != nil && bd.VLRT.Count > 0 {
+		fmt.Fprintf(&b, "  VLRT time: %.0f%% waiting (%.0f%% retransmission gaps, "+
+			"%.0f%% queue/pool wait), %.0f%% service — %d tail exemplars kept\n",
+			100*bd.VLRT.WaitShare(),
+			100*bd.VLRT.Share(span.KindRetransmit),
+			100*(bd.VLRT.Share(span.KindQueueWait)+bd.VLRT.Share(span.KindPoolWait)),
+			100*bd.VLRT.Share(span.KindService),
+			len(r.Spans.TailExemplars()))
+	}
 	return b.String()
 }

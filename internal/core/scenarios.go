@@ -48,6 +48,10 @@ func Figure3Config() Config {
 		// second queue plateau of Fig. 3(b).
 		Consolidation: &ConsolidationSpec{Tier: TierApp, TrainLength: 2},
 		Trace:         true,
+		// Span traces turn the aggregate story into per-request causality:
+		// the -breakdown table attributes the VLRT tail to retransmission
+		// gaps and queue waits, and the 6s exemplars show two 3s RTO spans.
+		Spans: true,
 	}
 }
 

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ctqosim/internal/plot"
+	"ctqosim/internal/span"
+)
+
+// TraceWaterfall converts one span trace into a plot.Waterfall: a lane per
+// tier, bars colored by span kind, time measured from the request's start.
+// A 6-second VLRT exemplar renders as a thin service chain dwarfed by two
+// 3-second retransmission bars on the dropping server's lane.
+func TraceWaterfall(t *span.Trace) *plot.Waterfall {
+	w := &plot.Waterfall{XLabel: "time since request start [s]"}
+	if t == nil || len(t.Spans()) == 0 {
+		w.Title = "waterfall (no trace)"
+		return w
+	}
+	root := t.Root()
+	w.Title = fmt.Sprintf("request %d (%s) — %v, %d retransmission gaps",
+		t.RequestID, t.Class, root.Duration().Round(time.Millisecond),
+		t.Retransmits())
+
+	depth := spanDepths(t)
+	for _, s := range t.Spans() {
+		bar := plot.WaterfallBar{
+			Lane:     s.Tier,
+			Category: s.Kind.String(),
+			Start:    (s.Start - root.Start).Seconds(),
+			End:      (s.End - root.Start).Seconds(),
+			Depth:    depth[s.ID],
+		}
+		if s.Kind == span.KindRetransmit {
+			bar.Label = s.Detail
+		}
+		w.Add(bar)
+	}
+	return w
+}
+
+// spanDepths computes each span's nesting depth under the root.
+func spanDepths(t *span.Trace) map[span.ID]int {
+	out := make(map[span.ID]int, len(t.Spans()))
+	for _, s := range t.Spans() {
+		d := 0
+		for p := s.Parent; p > 0; d++ {
+			p = t.Spans()[p-1].Parent
+		}
+		out[s.ID] = d
+	}
+	return out
+}
+
+// WriteWaterfallSVG renders the trace's waterfall SVG to w.
+func WriteWaterfallSVG(w io.Writer, t *span.Trace) error {
+	_, err := io.WriteString(w, TraceWaterfall(t).SVG())
+	return err
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"ctqosim/internal/span"
 )
 
 // Client performs request/response exchanges against a live tier with
@@ -19,6 +21,18 @@ type Client struct {
 	MaxAttempts int
 	// IOTimeout caps each dial/read/write; zero means 10s.
 	IOTimeout time.Duration
+	// Name labels the target tier in recorded spans; empty means Target.
+	Name string
+	// Collector, when non-nil, receives the whole exchange as a downstream
+	// span plus one retransmission-gap span per RTO wait.
+	Collector *Collector
+}
+
+func (c *Client) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Target
 }
 
 func (c *Client) rto() time.Duration {
@@ -45,6 +59,15 @@ func (c *Client) ioTimeout() time.Duration {
 // Do performs one exchange, retrying dropped attempts. It returns the
 // number of attempts made and the first nil or final non-nil error.
 func (c *Client) Do(req Request) (attempts int, err error) {
+	col := c.Collector
+	callStart := col.Clock()
+	defer func() {
+		detail := ""
+		if err != nil {
+			detail = "gave up"
+		}
+		col.Record(req.ID, span.KindDownstream, c.name(), callStart, col.Clock(), detail)
+	}()
 	for attempts = 1; ; attempts++ {
 		req.Attempt = attempts
 		err = c.once(req)
@@ -54,7 +77,12 @@ func (c *Client) Do(req Request) (attempts int, err error) {
 		if attempts >= c.maxAttempts() {
 			return attempts, fmt.Errorf("live: gave up after %d attempts: %w", attempts, err)
 		}
+		gap := col.Clock()
 		time.Sleep(c.rto())
+		if col != nil {
+			col.Record(req.ID, span.KindRetransmit, c.name(), gap, col.Clock(),
+				fmt.Sprintf("attempt %d dropped by %s; waited RTO", attempts, c.name()))
+		}
 	}
 }
 
@@ -95,8 +123,11 @@ func RunLoad(client Client, n int, services []time.Duration) []Outcome {
 				Service:    services[0],
 				Downstream: services[1:],
 			}
+			rootStart := client.Collector.Clock()
 			start := time.Now()
 			attempts, err := client.Do(req)
+			client.Collector.Record(req.ID, span.KindRequest, "client",
+				rootStart, client.Collector.Clock(), "")
 			results[i] = Outcome{
 				ID:       uint64(i),
 				Latency:  time.Since(start),

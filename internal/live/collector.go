@@ -1,0 +1,154 @@
+package live
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ctqosim/internal/span"
+)
+
+// Collector gathers span intervals from live tiers and load clients. The
+// tiers run in separate goroutines (in a real deployment they would be
+// separate processes), so unlike the simulation they cannot thread a
+// *span.Trace through the call chain: instead every participant records
+// flat (request, kind, tier, start, end) intervals against the collector's
+// shared wall-clock origin, and Assemble reconstructs each request's span
+// tree afterwards by interval containment.
+//
+// All methods are safe on a nil receiver and for concurrent use, so
+// instrumented code calls them unconditionally; a nil collector disables
+// recording.
+type Collector struct {
+	origin time.Time
+
+	mu     sync.Mutex
+	events map[uint64][]liveEvent
+}
+
+type liveEvent struct {
+	kind       span.Kind
+	tier       string
+	detail     string
+	start, end time.Duration
+}
+
+// NewCollector creates a collector whose clock starts now.
+func NewCollector() *Collector {
+	return &Collector{origin: time.Now(), events: make(map[uint64][]liveEvent)}
+}
+
+// Clock returns the time since the collector's origin (zero on nil): the
+// common timeline all recorded intervals share.
+func (c *Collector) Clock() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Since(c.origin)
+}
+
+// Record stores one completed interval of a request's life.
+func (c *Collector) Record(reqID uint64, kind span.Kind, tier string, start, end time.Duration, detail string) {
+	if c == nil || end < start {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events[reqID] = append(c.events[reqID], liveEvent{
+		kind: kind, tier: tier, detail: detail, start: start, end: end,
+	})
+}
+
+// Assemble folds everything recorded so far into a span.Tracer — one trace
+// per request — so live runs get the same breakdown, tail-exemplar and
+// Perfetto machinery as the simulation. Parenting is by interval
+// containment: an event becomes a child of the innermost earlier event
+// that encloses it, which reproduces the request → downstream → queue-wait
+// / service → retransmit nesting without any cross-tier ID passing. The
+// root is the client's KindRequest interval when present, else the hull of
+// the request's events.
+func (c *Collector) Assemble(cfg span.TracerConfig) *span.Tracer {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	byReq := make(map[uint64][]liveEvent, len(c.events))
+	ids := make([]uint64, 0, len(c.events))
+	for id, evs := range c.events {
+		byReq[id] = append([]liveEvent(nil), evs...)
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// The tracer reads time through a cursor we move to each interval's
+	// bounds while replaying it.
+	var cursor time.Duration
+	tr := span.NewTracer(func() time.Duration { return cursor }, cfg)
+	for _, id := range ids {
+		evs := byReq[id]
+		root, children := splitRoot(evs)
+
+		cursor = root.start
+		t := tr.StartRequest(id, "live")
+
+		// Wider-first within equal starts, so an enclosing interval is on
+		// the stack before anything it contains.
+		sort.Slice(children, func(i, j int) bool {
+			if children[i].start != children[j].start {
+				return children[i].start < children[j].start
+			}
+			return children[i].end > children[j].end
+		})
+		type frame struct {
+			id  span.ID
+			end time.Duration
+		}
+		stack := []frame{{span.RootID, root.end}}
+		for _, ev := range children {
+			for len(stack) > 1 && stack[len(stack)-1].end < ev.end {
+				stack = stack[:len(stack)-1]
+			}
+			cursor = ev.start
+			sid := t.Start(ev.kind, ev.tier, stack[len(stack)-1].id)
+			if ev.detail != "" {
+				t.Annotate(sid, ev.detail)
+			}
+			cursor = ev.end
+			t.End(sid)
+			stack = append(stack, frame{sid, ev.end})
+		}
+		cursor = root.end
+		tr.Finish(t)
+	}
+	return tr
+}
+
+// splitRoot picks the request's root bounds and returns the rest.
+func splitRoot(evs []liveEvent) (liveEvent, []liveEvent) {
+	rootAt := -1
+	for i, ev := range evs {
+		if ev.kind == span.KindRequest {
+			rootAt = i
+			break
+		}
+	}
+	if rootAt >= 0 {
+		children := make([]liveEvent, 0, len(evs)-1)
+		children = append(children, evs[:rootAt]...)
+		children = append(children, evs[rootAt+1:]...)
+		return evs[rootAt], children
+	}
+	// No client-side root (e.g. a bare Client.Do): synthesize one spanning
+	// the recorded events.
+	hull := liveEvent{kind: span.KindRequest, tier: "client", start: evs[0].start, end: evs[0].end}
+	for _, ev := range evs[1:] {
+		if ev.start < hull.start {
+			hull.start = ev.start
+		}
+		if ev.end > hull.end {
+			hull.end = ev.end
+		}
+	}
+	return hull, evs
+}

@@ -1,0 +1,176 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctqosim/internal/span"
+)
+
+// TestCollectorAssemblesByContainment checks the tree reconstruction on
+// hand-recorded intervals: the nesting must come out exactly as if the
+// spans had been threaded through the call chain.
+func TestCollectorAssemblesByContainment(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	c := NewCollector()
+	c.Record(7, span.KindRequest, "client", ms(0), ms(100), "")
+	c.Record(7, span.KindDownstream, "web", ms(1), ms(99), "")
+	c.Record(7, span.KindQueueWait, "web", ms(2), ms(3), "")
+	c.Record(7, span.KindService, "web", ms(3), ms(98), "")
+	c.Record(7, span.KindRetransmit, "db", ms(10), ms(50), "attempt 1 dropped by db; waited RTO")
+	c.Record(7, span.KindDownstream, "db", ms(50), ms(90), "")
+
+	tr := c.Assemble(span.TracerConfig{Seed: 1, TailThreshold: time.Millisecond})
+	traces := tr.TailExemplars()
+	if len(traces) != 1 {
+		t.Fatalf("assembled %d traces, want 1", len(traces))
+	}
+	tree := traces[0]
+	if tree.RequestID != 7 || tree.ResponseTime() != ms(100) {
+		t.Fatalf("root = request %d, %v; want 7, 100ms", tree.RequestID, tree.ResponseTime())
+	}
+
+	byID := map[span.ID]span.Span{}
+	for _, s := range tree.Spans() {
+		byID[s.ID] = s
+	}
+	parentKind := func(s span.Span) span.Kind { return byID[s.Parent].Kind }
+	for _, s := range tree.Spans() {
+		switch {
+		case s.Kind == span.KindDownstream && s.Tier == "web":
+			if parentKind(s) != span.KindRequest {
+				t.Errorf("web downstream parented to %v, want request", parentKind(s))
+			}
+		case s.Kind == span.KindDownstream && s.Tier == "db":
+			if parentKind(s) != span.KindService {
+				t.Errorf("db downstream parented to %v, want web service", parentKind(s))
+			}
+		case s.Kind == span.KindQueueWait, s.Kind == span.KindService:
+			if parentKind(s) != span.KindDownstream {
+				t.Errorf("%v parented to %v, want downstream", s.Kind, parentKind(s))
+			}
+		case s.Kind == span.KindRetransmit:
+			if parentKind(s) != span.KindService {
+				t.Errorf("retransmit parented to %v, want the web service span", parentKind(s))
+			}
+		}
+	}
+
+	// Exclusive times must still sum exactly to the response time.
+	var sum time.Duration
+	for _, st := range tree.SelfTimes() {
+		sum += st.Self
+	}
+	if sum != ms(100) {
+		t.Errorf("self times sum to %v, want 100ms", sum)
+	}
+}
+
+// TestCollectorSynthesizesRootForBareCalls covers Client.Do used without
+// RunLoad: no client-side request interval exists, so the hull becomes the
+// root.
+func TestCollectorSynthesizesRootForBareCalls(t *testing.T) {
+	c := NewCollector()
+	c.Record(3, span.KindQueueWait, "web", 2*time.Millisecond, 5*time.Millisecond, "")
+	c.Record(3, span.KindService, "web", 5*time.Millisecond, 20*time.Millisecond, "")
+
+	tr := c.Assemble(span.TracerConfig{Seed: 1, TailThreshold: time.Millisecond})
+	traces := tr.TailExemplars()
+	if len(traces) != 1 {
+		t.Fatalf("assembled %d traces, want 1", len(traces))
+	}
+	if rt := traces[0].ResponseTime(); rt != 18*time.Millisecond {
+		t.Errorf("hull response time = %v, want 18ms", rt)
+	}
+}
+
+// TestLiveSpansOnSockets runs a collector-instrumented two-tier chain over
+// real TCP and checks that every request assembles into a complete span
+// tree. The load is light (no drops), so the structure is deterministic
+// even though the timings are not.
+func TestLiveSpansOnSockets(t *testing.T) {
+	col := NewCollector()
+	db := serveTier(t, Config{Sync: true, Workers: 4, Queue: 8, Name: "db",
+		Collector: col})
+	web := serveTier(t, Config{Sync: true, Workers: 4, Queue: 8, Name: "web",
+		Downstream: db.Addr(), RTO: fastRTO, Collector: col})
+
+	client := Client{Target: web.Addr(), RTO: fastRTO, IOTimeout: 5 * time.Second,
+		Name: "web", Collector: col}
+	const n = 8
+	outcomes := RunLoad(client, n, []time.Duration{time.Millisecond, time.Millisecond})
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("request %d failed: %v", o.ID, o.Err)
+		}
+	}
+
+	tr := col.Assemble(span.TracerConfig{Seed: 1, TailThreshold: time.Microsecond})
+	if tr.Finished() != n {
+		t.Fatalf("assembled %d traces, want %d", tr.Finished(), n)
+	}
+	for _, trace := range tr.TailExemplars() {
+		kinds := map[span.Kind][]string{}
+		for _, s := range trace.Spans() {
+			kinds[s.Kind] = append(kinds[s.Kind], s.Tier)
+		}
+		if got := len(kinds[span.KindQueueWait]); got != 2 {
+			t.Errorf("request %d: %d queue-wait spans, want 2 (web+db)", trace.RequestID, got)
+		}
+		if got := len(kinds[span.KindService]); got != 2 {
+			t.Errorf("request %d: %d service spans, want 2 (web+db)", trace.RequestID, got)
+		}
+		if got := strings.Join(kinds[span.KindService], ","); !strings.Contains(got, "web") || !strings.Contains(got, "db") {
+			t.Errorf("request %d: service tiers = %s, want web and db", trace.RequestID, got)
+		}
+		// Both the client→web and web→db exchanges appear.
+		if got := len(kinds[span.KindDownstream]); got != 2 {
+			t.Errorf("request %d: %d downstream spans, want 2", trace.RequestID, got)
+		}
+	}
+}
+
+// TestLiveRetransmitSpansOnSockets overloads a tiny sync tier so that some
+// requests are refused and must wait out the application-level RTO; those
+// waits must surface as retransmission-gap spans naming the dropping tier.
+func TestLiveRetransmitSpansOnSockets(t *testing.T) {
+	col := NewCollector()
+	s := serveTier(t, Config{Sync: true, Workers: 2, Queue: 2, Name: "web",
+		Collector: col})
+	client := Client{Target: s.Addr(), RTO: fastRTO, MaxAttempts: 20,
+		IOTimeout: 5 * time.Second, Name: "web", Collector: col}
+
+	outcomes := RunLoad(client, 12, []time.Duration{50 * time.Millisecond})
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("request %d failed permanently: %v", o.ID, o.Err)
+		}
+	}
+	if s.Stats().Dropped() == 0 {
+		t.Fatal("no drops despite 12 > MaxSysQDepth 4")
+	}
+
+	tr := col.Assemble(span.TracerConfig{Seed: 1, TailThreshold: time.Microsecond})
+	gaps := 0
+	for _, trace := range tr.TailExemplars() {
+		for _, sp := range trace.Spans() {
+			if sp.Kind != span.KindRetransmit {
+				continue
+			}
+			gaps++
+			if sp.Tier != "web" {
+				t.Errorf("retransmit span blames %q, want web", sp.Tier)
+			}
+			if sp.Duration() < fastRTO {
+				t.Errorf("retransmit gap %v shorter than the RTO %v", sp.Duration(), fastRTO)
+			}
+			if !strings.Contains(sp.Detail, "dropped by web") {
+				t.Errorf("retransmit detail = %q, want the dropping server named", sp.Detail)
+			}
+		}
+	}
+	if gaps == 0 {
+		t.Fatal("drops occurred but no retransmission-gap spans were recorded")
+	}
+}

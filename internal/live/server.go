@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ctqosim/internal/span"
 )
 
 // Stats counts a live server's outcomes. All fields are atomic.
@@ -52,6 +54,16 @@ type Config struct {
 	MaxAttempts int
 	// IOTimeout caps each read/write; zero means 10s.
 	IOTimeout time.Duration
+	// Name labels this tier in recorded spans; empty means the listen
+	// address.
+	Name string
+	// DownstreamName labels the next tier in recorded spans; empty means
+	// the Downstream address.
+	DownstreamName string
+	// Collector, when non-nil, receives span intervals (accept-queue wait,
+	// service, and — via the downstream client — retransmission gaps) for
+	// every handled request. Tiers sharing a process share one collector.
+	Collector *Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -81,9 +93,16 @@ type Server struct {
 
 	// admission: held (in service + queued) for sync; in-flight for async.
 	held    atomic.Int64
-	work    chan net.Conn
+	work    chan workItem
 	closing atomic.Bool
 	wg      sync.WaitGroup
+}
+
+// workItem carries an admitted connection plus its accept timestamp, so
+// the worker that picks it up can record the queue-wait interval.
+type workItem struct {
+	conn     net.Conn
+	accepted time.Duration
 }
 
 // Serve starts a tier listening on cfg.Addr and returns once the listener
@@ -97,7 +116,7 @@ func Serve(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		listener: ln,
-		work:     make(chan net.Conn, cfg.Workers+cfg.Queue),
+		work:     make(chan workItem, cfg.Workers+cfg.Queue),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -119,6 +138,14 @@ func (s *Server) Depth() int { return int(s.held.Load()) }
 
 // MaxSysQDepth returns the admission bound.
 func (s *Server) MaxSysQDepth() int { return s.cfg.Workers + s.cfg.Queue }
+
+// name returns the span label for this tier.
+func (s *Server) name() string {
+	if s.cfg.Name != "" {
+		return s.cfg.Name
+	}
+	return s.listener.Addr().String()
+}
 
 // Close stops accepting, waits for in-flight work to finish, and releases
 // the listener.
@@ -155,7 +182,7 @@ func (s *Server) acceptLoop() {
 		s.held.Add(1)
 		s.stats.accepted.Add(1)
 		select {
-		case s.work <- conn:
+		case s.work <- workItem{conn: conn, accepted: s.cfg.Collector.Clock()}:
 		default:
 			// The channel mirrors the admission bound; reaching here means
 			// a race lost against another accept — treat as a drop.
@@ -169,8 +196,8 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for conn := range s.work {
-		s.handle(conn)
+	for item := range s.work {
+		s.handle(item)
 	}
 }
 
@@ -184,7 +211,9 @@ func (s *Server) worker() {
 // and returns the worker to the pool immediately — the Fig. 14
 // doGet/eventHandler split; the request stays admitted (held) until the
 // continuation replies.
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(item workItem) {
+	conn, col := item.conn, s.cfg.Collector
+	picked := col.Clock()
 	release := func() { s.held.Add(-1) }
 
 	fail := func() {
@@ -206,8 +235,18 @@ func (s *Server) handle(conn net.Conn) {
 		fail()
 		return
 	}
+	col.Record(req.ID, span.KindQueueWait, s.name(), item.accepted, picked, "")
 
+	svcStart := col.Clock()
 	time.Sleep(req.Service)
+
+	// recordService closes this tier's service interval. For sync it runs
+	// just before the reply (the span covers the whole thread-held visit,
+	// so the downstream call nests inside it); for async it runs at the
+	// worker hand-off (the span covers one worker-held burst only).
+	recordService := func() {
+		col.Record(req.ID, span.KindService, s.name(), svcStart, col.Clock(), "")
+	}
 
 	finish := func() {
 		if s.cfg.Downstream != "" && len(req.Downstream) > 0 {
@@ -221,14 +260,22 @@ func (s *Server) handle(conn net.Conn) {
 				RTO:         s.cfg.RTO,
 				MaxAttempts: s.cfg.MaxAttempts,
 				IOTimeout:   s.cfg.IOTimeout,
+				Name:        s.cfg.DownstreamName,
+				Collector:   col,
 			}
 			if _, err := client.Do(next); err != nil {
 				// No reply: the upstream caller times out or retries.
+				if s.cfg.Sync {
+					recordService()
+				}
 				s.stats.failed.Add(1)
 				_ = conn.Close()
 				release()
 				return
 			}
+		}
+		if s.cfg.Sync {
+			recordService()
 		}
 		if _, err := conn.Write([]byte(okReply)); err != nil {
 			s.stats.failed.Add(1)
@@ -244,6 +291,7 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	// Async: free the worker; the continuation carries the request.
+	recordService()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()

@@ -37,6 +37,9 @@ type TopologySpec struct {
 	RTO time.Duration
 	// IOTimeout caps socket operations; zero means 10s.
 	IOTimeout time.Duration
+	// Collector, when non-nil, records span intervals across all three
+	// tiers (they share one process, hence one clock origin).
+	Collector *Collector
 }
 
 // Topology is a running live 3-tier system on localhost.
@@ -53,6 +56,7 @@ func Deploy(spec TopologySpec) (*Topology, error) {
 		workers = 2
 	}
 	// tierConfig derives a tier's config: position 0 is the web tier.
+	names := []string{"web", "app", "db", ""}
 	tierConfig := func(position int, downstream string) Config {
 		sync := spec.Sync
 		if spec.NX > 0 {
@@ -66,13 +70,16 @@ func Deploy(spec TopologySpec) (*Topology, error) {
 			}
 		}
 		return Config{
-			Addr:       "127.0.0.1:0",
-			Sync:       sync,
-			Workers:    workers,
-			Queue:      queue,
-			Downstream: downstream,
-			RTO:        spec.RTO,
-			IOTimeout:  spec.IOTimeout,
+			Addr:           "127.0.0.1:0",
+			Sync:           sync,
+			Workers:        workers,
+			Queue:          queue,
+			Downstream:     downstream,
+			RTO:            spec.RTO,
+			IOTimeout:      spec.IOTimeout,
+			Name:           names[position],
+			DownstreamName: names[position+1],
+			Collector:      spec.Collector,
 		}
 	}
 
@@ -95,12 +102,14 @@ func Deploy(spec TopologySpec) (*Topology, error) {
 }
 
 // Client returns a load client aimed at the web tier, inheriting the
-// topology's RTO.
+// topology's RTO and collector.
 func (t *Topology) Client(rto time.Duration, maxAttempts int) Client {
 	return Client{
 		Target:      t.Web.Addr(),
 		RTO:         rto,
 		MaxAttempts: maxAttempts,
+		Name:        "web",
+		Collector:   t.Web.cfg.Collector,
 	}
 }
 

@@ -1,0 +1,173 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WaterfallBar is one horizontal interval of a request waterfall: a span
+// of a trace, placed on its lane with the category fixing its hue.
+type WaterfallBar struct {
+	// Lane is the row the bar is drawn on (e.g. "web", "app", "db").
+	Lane string
+	// Category selects the hue and the legend entry (e.g. "service",
+	// "retransmit"). Bars with the same category share a color.
+	Category string
+	// Start and End are in seconds from the request's start.
+	Start, End float64
+	// Label, if non-empty, is drawn inside or beside the bar.
+	Label string
+	// Depth indents the bar slightly (nesting level within the lane), so
+	// a service span and the downstream span it contains stay separable.
+	Depth int
+}
+
+// Waterfall is a Gantt-style horizontal chart: one row per lane, time on
+// the x axis, colored bars for intervals. It reuses the package palette
+// and tokens so request waterfalls sit next to the timeline figures.
+type Waterfall struct {
+	// Title is the headline; XLabel names the time axis.
+	Title, XLabel string
+	// Width is the SVG width; zero defaults to 900. Height derives from
+	// the number of lanes.
+	Width int
+
+	bars  []WaterfallBar
+	lanes []string // first-appearance order
+}
+
+// Add appends a bar, registering its lane on first use.
+func (w *Waterfall) Add(b WaterfallBar) *Waterfall {
+	found := false
+	for _, l := range w.lanes {
+		if l == b.Lane {
+			found = true
+			break
+		}
+	}
+	if !found {
+		w.lanes = append(w.lanes, b.Lane)
+	}
+	w.bars = append(w.bars, b)
+	return w
+}
+
+const (
+	wfLaneHeight = 34
+	wfBarHeight  = 18
+	wfMarginTop  = 44
+	wfMarginBot  = 40
+	wfMarginLeft = 88
+	wfMarginRt   = 150
+)
+
+// SVG renders the waterfall.
+func (w *Waterfall) SVG() string {
+	width := w.Width
+	if width <= 0 {
+		width = 900
+	}
+	height := wfMarginTop + wfMarginBot + wfLaneHeight*len(w.lanes)
+	if len(w.lanes) == 0 {
+		height = wfMarginTop + wfMarginBot + wfLaneHeight
+	}
+	plotW := float64(width - wfMarginLeft - wfMarginRt)
+
+	xMax := 0.0
+	for _, bar := range w.bars {
+		xMax = math.Max(xMax, bar.End)
+	}
+	if xMax <= 0 {
+		xMax = 1
+	}
+	xOf := func(x float64) float64 { return wfMarginLeft + x/xMax*plotW }
+	laneY := make(map[string]int, len(w.lanes))
+	for i, l := range w.lanes {
+		laneY[l] = wfMarginTop + i*wfLaneHeight
+	}
+	categories := w.categoryColors()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, width, height, surface)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" fill="%s">%s</text>`,
+		wfMarginLeft, textPrimary, escape(w.Title))
+
+	// Time grid and axis.
+	for _, tick := range niceTicks(0, xMax, 8) {
+		x := xOf(tick)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="1"/>`,
+			x, wfMarginTop-6, x, height-wfMarginBot, gridColor)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			x, height-wfMarginBot+16, textSecondary, formatTick(tick))
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`,
+		wfMarginLeft, height-wfMarginBot, width-wfMarginRt, height-wfMarginBot, axisColor)
+	if w.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" text-anchor="middle">%s</text>`,
+			wfMarginLeft+int(plotW/2), height-8, textSecondary, escape(w.XLabel))
+	}
+
+	// Lane labels and separators.
+	for _, lane := range w.lanes {
+		y := laneY[lane]
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s" text-anchor="end">%s</text>`,
+			wfMarginLeft-10, y+wfLaneHeight/2+4, textPrimary, escape(lane))
+	}
+
+	// Bars, drawn shallow-first so nested spans sit on top of their parents.
+	ordered := make([]WaterfallBar, len(w.bars))
+	copy(ordered, w.bars)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Depth < ordered[j].Depth })
+	for _, bar := range ordered {
+		x0, x1 := xOf(bar.Start), xOf(bar.End)
+		bw := math.Max(x1-x0, 1.5)
+		inset := float64(bar.Depth * 3)
+		y := float64(laneY[bar.Lane]) + (wfLaneHeight-wfBarHeight)/2 + inset/2
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" rx="2" fill="%s" stroke="%s" stroke-width="0.8"/>`,
+			x0, y, bw, wfBarHeight-inset, categories[bar.Category], surface)
+		if bar.Label != "" && bw > 40 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`,
+				x0+4, y+wfBarHeight-inset-5, textPrimary, escape(bar.Label))
+		}
+	}
+
+	// Legend: one entry per category, ink text beside a swatch.
+	x := float64(width - wfMarginRt + 8)
+	y := float64(wfMarginTop)
+	for _, cat := range w.categoryOrder() {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" rx="2" fill="%s"/>`,
+			x, y-9, categories[cat])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`,
+			x+14, y, textPrimary, escape(cat))
+		y += 16
+	}
+
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// categoryOrder lists categories by first appearance.
+func (w *Waterfall) categoryOrder() []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, bar := range w.bars {
+		if !seen[bar.Category] {
+			seen[bar.Category] = true
+			order = append(order, bar.Category)
+		}
+	}
+	return order
+}
+
+// categoryColors assigns palette slots by category first appearance.
+func (w *Waterfall) categoryColors() map[string]string {
+	out := map[string]string{}
+	for i, cat := range w.categoryOrder() {
+		out[cat] = SeriesColor(i)
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"ctqosim/internal/cpu"
 	"ctqosim/internal/des"
 	"ctqosim/internal/simnet"
+	"ctqosim/internal/span"
 )
 
 // AsyncConfig parameterizes an event-driven server.
@@ -85,8 +86,25 @@ func (a *AsyncServer) TryAccept(call *simnet.Call) bool {
 	a.inFlight++
 	a.stats.Accepted++
 	prog := a.plan(call.Payload)
-	a.enqueue(func() { a.runStage(call, prog, 0) })
+	a.enqueueWait(call, func() { a.runStage(call, prog, 0) })
 	return true
+}
+
+// enqueueWait is enqueue plus a queue-wait span covering the time the work
+// item sits in the ready queue before a worker picks it up. Continuation
+// hand-offs go through here too, so a request that bounces between bursts
+// accumulates every wait. With tracing off the span ID is zero and the
+// item is enqueued untouched — identical dynamics either way.
+func (a *AsyncServer) enqueueWait(call *simnet.Call, item func()) {
+	wait := call.Trace.Start(span.KindQueueWait, a.cfg.Name, call.SpanID)
+	if wait == 0 {
+		a.enqueue(item)
+		return
+	}
+	a.enqueue(func() {
+		call.Trace.End(wait)
+		item()
+	})
 }
 
 // enqueue adds a runnable work item and dispatches if a worker is free.
@@ -117,10 +135,15 @@ func (a *AsyncServer) runStage(call *simnet.Call, prog Program, i int) {
 		return
 	}
 	stage := prog[i]
+	// One service span per CPU burst: an async request's service time is
+	// the sum of its bursts, with the waits between them showing up as
+	// queue-wait and downstream spans instead.
+	svc := call.Trace.Start(span.KindService, a.cfg.Name, call.SpanID)
 	a.vm.Submit(a.inflate(stage.CPU), func() {
+		call.Trace.End(svc)
 		if stage.Call == nil {
 			a.release()
-			a.enqueue(func() { a.runStage(call, prog, i+1) })
+			a.enqueueWait(call, func() { a.runStage(call, prog, i+1) })
 			return
 		}
 		a.callDownstream(call, prog, i, stage.Call)
@@ -128,22 +151,27 @@ func (a *AsyncServer) runStage(call *simnet.Call, prog Program, i int) {
 }
 
 func (a *AsyncServer) callDownstream(call *simnet.Call, prog Program, i int, d *Downstream) {
+	ds := call.Trace.Start(span.KindDownstream, d.Dest.Name(), call.SpanID)
+	var poolWait span.ID
 	send := func() {
-		sub := &simnet.Call{Payload: call.Payload}
+		call.Trace.End(poolWait)
+		sub := &simnet.Call{Payload: call.Payload, Trace: call.Trace, SpanID: ds}
 		sub.OnReply = func(reply any) {
 			if d.Pool != nil {
 				d.Pool.Release()
 			}
+			call.Trace.End(ds)
 			if f, ok := reply.(Failure); ok {
 				a.finish(call, f, true)
 				return
 			}
-			a.enqueue(func() { a.runStage(call, prog, i+1) })
+			a.enqueueWait(call, func() { a.runStage(call, prog, i+1) })
 		}
 		sub.OnGiveUp = func() {
 			if d.Pool != nil {
 				d.Pool.Release()
 			}
+			call.Trace.End(ds)
 			a.finish(call, Failure{Server: d.Dest.Name()}, true)
 		}
 		a.transport.Send(d.Dest, sub)
@@ -153,6 +181,7 @@ func (a *AsyncServer) callDownstream(call *simnet.Call, prog Program, i int, d *
 	// paper's Fig. 14.
 	a.release()
 	if d.Pool != nil {
+		poolWait = call.Trace.Start(span.KindPoolWait, d.Dest.Name(), ds)
 		d.Pool.Acquire(send)
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"ctqosim/internal/cpu"
 	"ctqosim/internal/des"
 	"ctqosim/internal/simnet"
+	"ctqosim/internal/span"
 )
 
 // SyncConfig parameterizes a synchronous RPC server.
@@ -56,10 +57,12 @@ type SyncServer struct {
 	shed       int64
 }
 
-// queuedCall is an accept-queue entry with its optional shedding timer.
+// queuedCall is an accept-queue entry with its optional shedding timer and
+// its open queue-wait span.
 type queuedCall struct {
 	call  *simnet.Call
 	timer *des.Event
+	wait  span.ID
 }
 
 var _ Server = (*SyncServer)(nil)
@@ -112,7 +115,10 @@ func (s *SyncServer) TryAccept(call *simnet.Call) bool {
 	s.maybeArmSpare()
 	if len(s.queue) < s.cfg.Backlog {
 		s.stats.Accepted++
-		entry := &queuedCall{call: call}
+		entry := &queuedCall{
+			call: call,
+			wait: call.Trace.Start(span.KindQueueWait, s.cfg.Name, call.SpanID),
+		}
 		if s.cfg.QueueTimeout > 0 {
 			entry.timer = s.sim.Schedule(s.cfg.QueueTimeout, func() {
 				s.shedEntry(entry)
@@ -139,6 +145,8 @@ func (s *SyncServer) shedEntry(entry *queuedCall) {
 		s.queue = s.queue[:len(s.queue)-1]
 		s.shed++
 		s.stats.Failed++
+		entry.call.Trace.End(entry.wait)
+		entry.call.Trace.Annotate(entry.wait, "shed by queue timeout")
 		replyNow(entry.call, Failure{Server: s.cfg.Name})
 		return
 	}
@@ -172,51 +180,60 @@ func (s *SyncServer) maybeArmSpare() {
 func (s *SyncServer) startOnThread(call *simnet.Call) {
 	s.busy++
 	prog := s.plan(call.Payload)
-	s.runStage(call, prog, 0)
+	// The service span covers the whole thread-held visit; downstream and
+	// retransmission children subtract out of its exclusive time.
+	svc := call.Trace.Start(span.KindService, s.cfg.Name, call.SpanID)
+	s.runStage(call, svc, prog, 0)
 }
 
 // runStage executes stage i of the program: CPU burst, then the optional
 // downstream call, then the next stage. The thread (busy slot) is held
 // throughout, including downstream retransmission waits.
-func (s *SyncServer) runStage(call *simnet.Call, prog Program, i int) {
+func (s *SyncServer) runStage(call *simnet.Call, svc span.ID, prog Program, i int) {
 	if i >= len(prog) {
-		s.finish(call, call.Payload, false)
+		s.finish(call, svc, call.Payload, false)
 		return
 	}
 	stage := prog[i]
 	demand := s.inflate(stage.CPU)
 	s.vm.Submit(demand, func() {
 		if stage.Call == nil {
-			s.runStage(call, prog, i+1)
+			s.runStage(call, svc, prog, i+1)
 			return
 		}
-		s.callDownstream(call, prog, i, stage.Call)
+		s.callDownstream(call, svc, prog, i, stage.Call)
 	})
 }
 
-func (s *SyncServer) callDownstream(call *simnet.Call, prog Program, i int, d *Downstream) {
+func (s *SyncServer) callDownstream(call *simnet.Call, svc span.ID, prog Program, i int, d *Downstream) {
+	ds := call.Trace.Start(span.KindDownstream, d.Dest.Name(), svc)
+	var poolWait span.ID
 	send := func() {
-		sub := &simnet.Call{Payload: call.Payload}
+		call.Trace.End(poolWait)
+		sub := &simnet.Call{Payload: call.Payload, Trace: call.Trace, SpanID: ds}
 		sub.OnReply = func(reply any) {
 			if d.Pool != nil {
 				d.Pool.Release()
 			}
+			call.Trace.End(ds)
 			if f, ok := reply.(Failure); ok {
-				s.finish(call, f, true)
+				s.finish(call, svc, f, true)
 				return
 			}
-			s.runStage(call, prog, i+1)
+			s.runStage(call, svc, prog, i+1)
 		}
 		sub.OnGiveUp = func() {
 			if d.Pool != nil {
 				d.Pool.Release()
 			}
-			s.finish(call, Failure{Server: d.Dest.Name()}, true)
+			call.Trace.End(ds)
+			s.finish(call, svc, Failure{Server: d.Dest.Name()}, true)
 		}
 		s.transport.Send(d.Dest, sub)
 	}
 	if d.Pool != nil {
 		// The thread waits (still held) until a connection frees up.
+		poolWait = call.Trace.Start(span.KindPoolWait, d.Dest.Name(), ds)
 		d.Pool.Acquire(send)
 		return
 	}
@@ -225,13 +242,14 @@ func (s *SyncServer) callDownstream(call *simnet.Call, prog Program, i int, d *D
 
 // finish replies upstream, releases the thread and pulls the next queued
 // request onto it.
-func (s *SyncServer) finish(call *simnet.Call, payload any, failed bool) {
+func (s *SyncServer) finish(call *simnet.Call, svc span.ID, payload any, failed bool) {
 	if failed {
 		s.stats.Failed++
 	} else {
 		s.stats.Completed++
 	}
 	s.busy--
+	call.Trace.End(svc)
 	s.drainQueue()
 	replyNow(call, payload)
 }
@@ -245,6 +263,7 @@ func (s *SyncServer) drainQueue() {
 		if next.timer != nil {
 			s.sim.Cancel(next.timer)
 		}
+		next.call.Trace.End(next.wait)
 		s.startOnThread(next.call)
 	}
 }

@@ -11,9 +11,11 @@
 package simnet
 
 import (
+	"fmt"
 	"time"
 
 	"ctqosim/internal/des"
+	"ctqosim/internal/span"
 )
 
 // DefaultRTO is the retransmission timeout of the paper's kernel (2.6.32).
@@ -52,6 +54,14 @@ type Call struct {
 	// workload layer uses it to attribute VLRT requests to the server that
 	// dropped their packets (Figs. 3c, 7c, 8c, 9c).
 	DroppedBy []string
+
+	// Trace, when non-nil, is the end-to-end request's span tree; SpanID is
+	// the span on whose behalf this call is in flight (the caller's service
+	// span, or the root for the client's top-level call). The transport
+	// parents retransmission-gap spans under it, and the receiving server
+	// parents its queue-wait and service spans under it.
+	Trace  *span.Trace
+	SpanID span.ID
 }
 
 // Retransmits returns the number of retransmissions (attempts beyond the
@@ -204,7 +214,15 @@ func (t *Transport) attempt(dst Admission, call *Call) {
 	if t.Listener != nil {
 		t.Listener.Retransmitted(dst.Name(), call)
 	}
+	// The RTO wait is the paper's tail mechanism; give it a span of its
+	// own, attributed to the dropping server, closed when the retry fires.
+	gap := call.Trace.Start(span.KindRetransmit, dst.Name(), call.SpanID)
+	if gap != 0 {
+		call.Trace.Annotate(gap, fmt.Sprintf(
+			"attempt %d dropped by %s; waiting RTO", call.Attempts, dst.Name()))
+	}
 	t.sim.Schedule(t.timeout(call.Attempts)+t.Latency, func() {
+		call.Trace.End(gap)
 		t.attempt(dst, call)
 	})
 }

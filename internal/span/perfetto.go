@@ -1,0 +1,97 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// traceEvent is one entry in the Chrome trace-event JSON format, which
+// Perfetto (https://ui.perfetto.dev) loads directly. Timestamps and
+// durations are in microseconds.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   uint64         `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents emits the traces as Chrome trace-event JSON loadable in
+// Perfetto or chrome://tracing. Each request becomes a process (pid =
+// request ID) and each tier a named thread lane inside it, so a 6-second
+// VLRT exemplar shows its two 3-second retransmission gaps as wide slices
+// on the dropping server's lane.
+func WriteTraceEvents(w io.Writer, traces []*Trace) error {
+	f := traceFile{DisplayUnit: "ms", TraceEvents: []traceEvent{}}
+	for _, t := range traces {
+		if t == nil || len(t.Spans()) == 0 {
+			continue
+		}
+		pid := t.RequestID
+		root := t.Root()
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": fmt.Sprintf("request %d (%s, %v)",
+				t.RequestID, t.Class, root.Duration().Round(time.Millisecond))},
+		})
+		// A stable lane per tier, client first.
+		lanes := tierLanes(t)
+		for tier, tid := range lanes {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": tier},
+			})
+		}
+		for _, s := range t.Spans() {
+			ev := traceEvent{
+				Name:  s.Kind.String(),
+				Phase: "X",
+				TS:    micros(s.Start),
+				Dur:   micros(s.Duration()),
+				PID:   pid,
+				TID:   lanes[s.Tier],
+				Cat:   s.Kind.String(),
+				Args: map[string]any{
+					"tier": s.Tier,
+					"span": int32(s.ID),
+				},
+			}
+			if s.Detail != "" {
+				ev.Args["detail"] = s.Detail
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// tierLanes assigns each tier appearing in the trace a thread lane,
+// ordered by first appearance (root's client tier is lane 0).
+func tierLanes(t *Trace) map[string]int {
+	lanes := make(map[string]int)
+	order := []string{}
+	for _, s := range t.Spans() {
+		if _, ok := lanes[s.Tier]; !ok {
+			lanes[s.Tier] = len(order)
+			order = append(order, s.Tier)
+		}
+	}
+	return lanes
+}
+
+// micros converts a duration to fractional microseconds.
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

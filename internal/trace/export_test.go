@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// errAfter fails every write once n bytes have been accepted — a stand-in
+// for a full disk or a closed pipe partway through an export.
+type errAfter struct {
+	n       int
+	written int
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *errAfter) Write(p []byte) (int, error) {
+	if w.written >= w.n {
+		return 0, errSink
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	log := &Log{}
+	for i := 0; i < 500; i++ {
+		log.events = append(log.events, Event{
+			At:        time.Duration(i) * time.Millisecond,
+			Kind:      KindDropped,
+			Server:    "steady-apache",
+			RequestID: uint64(i),
+			Attempt:   1,
+		})
+	}
+	// Failing immediately and failing after the header both must surface:
+	// the csv writer buffers, so the error may only appear at flush time.
+	for _, limit := range []int{0, 64} {
+		err := log.WriteCSV(&errAfter{n: limit})
+		if !errors.Is(err, errSink) {
+			t.Errorf("WriteCSV over a writer failing after %dB = %v, want errSink", limit, err)
+		}
+	}
+}
+
+func TestWriteCSVEmptyLogStillWritesHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Log{}).WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "time_s,kind,server,request_id,attempt" {
+		t.Errorf("empty log CSV = %q, want the bare header", got)
+	}
+}
+
+// TestWriteCSVQuotesAwkwardServerNames feeds server names containing the
+// CSV metacharacters (comma, quote, newline) through the exporter and
+// parses the output back: every field must round-trip intact.
+func TestWriteCSVQuotesAwkwardServerNames(t *testing.T) {
+	servers := []string{
+		`plain`,
+		`tier,with,commas`,
+		`tier "quoted"`,
+		"tier\nnewline",
+		`tier, mixing "both"`,
+	}
+	log := &Log{}
+	for i, s := range servers {
+		log.events = append(log.events, Event{
+			At:        time.Duration(i+1) * 250 * time.Millisecond,
+			Kind:      KindRetransmitted,
+			Server:    s,
+			RequestID: uint64(100 + i),
+			Attempt:   i + 1,
+		})
+	}
+
+	var buf bytes.Buffer
+	if err := log.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse back: %v", err)
+	}
+	if len(rows) != len(servers)+1 {
+		t.Fatalf("parsed %d rows, want %d (header + %d events)",
+			len(rows), len(servers)+1, len(servers))
+	}
+	for i, s := range servers {
+		row := rows[i+1]
+		if len(row) != 5 {
+			t.Fatalf("row %d has %d fields: %q", i+1, len(row), row)
+		}
+		if row[1] != "retransmitted" {
+			t.Errorf("row %d kind = %q, want retransmitted", i+1, row[1])
+		}
+		if row[2] != s {
+			t.Errorf("row %d server = %q, want %q round-tripped", i+1, row[2], s)
+		}
+		if want := fmt.Sprint(100 + i); row[3] != want {
+			t.Errorf("row %d request_id = %q, want %s", i+1, row[3], want)
+		}
+	}
+}

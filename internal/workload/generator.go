@@ -6,6 +6,7 @@ import (
 	"ctqosim/internal/des"
 	"ctqosim/internal/server"
 	"ctqosim/internal/simnet"
+	"ctqosim/internal/span"
 )
 
 // Frontend is where generators send requests: the system's web tier plus
@@ -46,6 +47,9 @@ type ClosedLoopConfig struct {
 	Burst *BurstSpec
 	// Sink receives every completed request; may be nil.
 	Sink Sink
+	// Tracer, if non-nil, opens a span trace per request so every tier can
+	// record where the request's time went.
+	Tracer *span.Tracer
 }
 
 // ClosedLoop is a population of clients that think, send, and wait.
@@ -132,6 +136,7 @@ func (c *ClosedLoop) clientLoop(st *clientState) {
 		Class:     class,
 		Submitted: c.sim.Now(),
 	}
+	req.Trace = c.cfg.Tracer.StartRequest(req.ID, class.Name)
 	c.nextID++
 	c.sent++
 
@@ -141,7 +146,7 @@ func (c *ClosedLoop) clientLoop(st *clientState) {
 		}
 		c.sim.Schedule(c.think(), func() { c.clientLoop(st) })
 	}
-	call := &simnet.Call{Payload: req}
+	call := &simnet.Call{Payload: req, Trace: req.Trace, SpanID: span.RootID}
 	call.OnReply = func(reply any) {
 		req.Completed = c.sim.Now()
 		if _, ok := reply.(server.Failure); ok {
@@ -149,6 +154,7 @@ func (c *ClosedLoop) clientLoop(st *clientState) {
 			c.failed++
 		}
 		c.completed++
+		c.cfg.Tracer.Finish(req.Trace)
 		c.record(req)
 		nextCycle()
 	}
@@ -157,6 +163,7 @@ func (c *ClosedLoop) clientLoop(st *clientState) {
 		req.Failed = true
 		c.failed++
 		c.completed++
+		c.cfg.Tracer.Finish(req.Trace)
 		c.record(req)
 		nextCycle()
 	}
@@ -203,6 +210,8 @@ type BatchConfig struct {
 	Class Class
 	// Sink receives completed requests; may be nil.
 	Sink Sink
+	// Tracer, if non-nil, opens a span trace per request.
+	Tracer *span.Tracer
 }
 
 // Batch emits deterministic request bursts.
@@ -255,11 +264,13 @@ func (b *Batch) Sent() int64 { return b.sent }
 func (b *Batch) fire() {
 	for i := 0; i < b.cfg.Size; i++ {
 		req := &Request{ID: b.nextID, Class: b.cfg.Class, Submitted: b.sim.Now()}
+		req.Trace = b.cfg.Tracer.StartRequest(req.ID, req.Class.Name)
 		b.nextID++
 		b.sent++
-		call := &simnet.Call{Payload: req}
+		call := &simnet.Call{Payload: req, Trace: req.Trace, SpanID: span.RootID}
 		call.OnReply = func(any) {
 			req.Completed = b.sim.Now()
+			b.cfg.Tracer.Finish(req.Trace)
 			if b.cfg.Sink != nil {
 				b.cfg.Sink.Record(req)
 			}
@@ -267,6 +278,7 @@ func (b *Batch) fire() {
 		call.OnGiveUp = func() {
 			req.Completed = b.sim.Now()
 			req.Failed = true
+			b.cfg.Tracer.Finish(req.Trace)
 			if b.cfg.Sink != nil {
 				b.cfg.Sink.Record(req)
 			}

@@ -12,6 +12,8 @@ package workload
 import (
 	"math/rand"
 	"time"
+
+	"ctqosim/internal/span"
 )
 
 // DefaultThinkTime is the RUBBoS client think time. 4000/7000/8000 clients
@@ -56,6 +58,9 @@ type Request struct {
 	// Failed marks requests that never completed (retransmissions
 	// exhausted somewhere in the chain).
 	Failed bool
+	// Trace is the request's span tree; nil unless the experiment runs
+	// with span tracing enabled.
+	Trace *span.Trace
 }
 
 // DroppedAt implements simnet.DropRecorder.
