@@ -1,0 +1,112 @@
+// Command ctqo-lint runs the repo's determinism analyzers — wallclock,
+// seededrand, maporder, nilsafe — over the given packages. It is the
+// mechanical enforcement of DESIGN.md's determinism contract and runs in
+// CI next to go vet.
+//
+// Usage:
+//
+//	ctqo-lint [flags] [packages]
+//
+//	ctqo-lint ./...                  # whole repo (the default)
+//	ctqo-lint -json ./internal/...   # machine-readable diagnostics
+//	ctqo-lint -maporder=false ./...  # disable one analyzer
+//
+// Each analyzer has a boolean flag named after it (default true). A
+// finding can be silenced in the source with a "//lint:allow <analyzer>
+// <reason>" comment on the flagged line or the line above it.
+//
+// Exit status: 0 when clean, 1 when any diagnostic was reported, 2 on
+// usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctqosim/internal/lint"
+	"ctqosim/internal/lint/analysis"
+	"ctqosim/internal/lint/analyzers"
+	"ctqosim/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ctqo-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	verbose := fs.Bool("v", false, "report packages as they are checked and any type errors")
+	all := analyzers.All()
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var active []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+		return 2
+	}
+	modDir, modPath, err := loader.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+		return 2
+	}
+	l := loader.New(modPath, modDir, "")
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+		return 2
+	}
+
+	var findings []lint.Finding
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctqo-lint: load %s: %v\n", path, err)
+			return 2
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "checking %s (%d files)\n", path, len(pkg.Files))
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "  type error: %v\n", terr)
+			}
+		}
+		fs, err := lint.RunPackage(l, pkg, active, modDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	lint.Sort(findings)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+			return 2
+		}
+	} else if err := lint.WriteText(os.Stdout, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

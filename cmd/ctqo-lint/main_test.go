@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ctqosim/internal/lint"
+)
+
+// writeModule lays out a throwaway module with one package containing a
+// seededrand violation and a wallclock call that is legal there (the
+// module is not under ctqosim's sim-time packages).
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmplint\n\ngo 1.22\n",
+		"a.go": `package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func Now() time.Time { return time.Now() }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// inDir runs f with the working directory switched to dir. os.Chdir
+// rather than t.Chdir keeps the test independent of the go directive in
+// the throwaway go.mod.
+func inDir(t *testing.T, dir string, f func()) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	f()
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1024)
+		tmp := make([]byte, 512)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	f()
+	w.Close()
+	out := <-done
+	r.Close()
+	return out
+}
+
+func TestRunReportsFindingsAsJSON(t *testing.T) {
+	dir := writeModule(t)
+	var code int
+	out := captureStdout(t, func() {
+		inDir(t, dir, func() {
+			code = run([]string{"-json", "./..."})
+		})
+	})
+	if code != 1 {
+		t.Fatalf("run() = %d, want 1 (findings present); output:\n%s", code, out)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the rand.Intn call):\n%s", len(findings), out)
+	}
+	f := findings[0]
+	if f.Analyzer != "seededrand" {
+		t.Errorf("finding analyzer = %q, want seededrand", f.Analyzer)
+	}
+	if f.File != "a.go" {
+		t.Errorf("finding file = %q, want a.go (relative to the module)", f.File)
+	}
+	if f.Line == 0 || f.Col == 0 {
+		t.Errorf("finding position %d:%d not set", f.Line, f.Col)
+	}
+}
+
+func TestRunAnalyzerDisableFlag(t *testing.T) {
+	dir := writeModule(t)
+	var code int
+	out := captureStdout(t, func() {
+		inDir(t, dir, func() {
+			code = run([]string{"-seededrand=false", "./..."})
+		})
+	})
+	if code != 0 {
+		t.Fatalf("run(-seededrand=false) = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	dir := writeModule(t)
+	var code int
+	inDir(t, dir, func() {
+		code = run([]string{"-definitely-not-a-flag"})
+	})
+	if code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+// TestRunRepoIsClean pins the audited state of this repository: the
+// linter over the real module must exit 0. A regression that reintroduces
+// wall-clock reads or unseeded randomness in sim-time code fails here,
+// not just in CI.
+func TestRunRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/ctqo-lint -> repo root
+	var code int
+	out := captureStdout(t, func() {
+		inDir(t, root, func() {
+			code = run([]string{"./..."})
+		})
+	})
+	if code != 0 {
+		t.Fatalf("ctqo-lint over the repo = %d, want 0; findings:\n%s", code, out)
+	}
+}

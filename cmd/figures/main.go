@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -130,8 +131,13 @@ func figures(quick bool) []figure {
 			for _, ep := range res.Report.CTQOEpisodes() {
 				dirs[ep.Direction.String()]++
 			}
-			for d, n := range dirs {
-				episodes += fmt.Sprintf("; %d× %s", n, d)
+			names := make([]string, 0, len(dirs))
+			for d := range dirs {
+				names = append(names, d)
+			}
+			sort.Strings(names)
+			for _, d := range names {
+				episodes += fmt.Sprintf("; %d× %s", dirs[d], d)
 			}
 		}
 		return fmt.Sprintf("drops: %s; VLRT %d%s", dropsStr, res.VLRTCount, episodes)

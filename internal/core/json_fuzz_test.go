@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzEffectiveConfigRoundTrip checks that the effective-config record —
+// the part of the summary JSON a run can be reproduced from — survives a
+// marshal → unmarshal → marshal cycle byte-identically, and that the
+// decoded struct equals the original. Byte-stable re-marshalling is what
+// lets the determinism test compare whole summaries with bytes.Equal.
+func FuzzEffectiveConfigRoundTrip(f *testing.F) {
+	f.Add("fig3", int64(1), "1-2-1-1S", 3000, 0.3, 300.0, "linux-2.6.32", 3.0, 3, true, 1.5, 0, 0.002)
+	f.Add("", int64(0), "", 0, 0.0, 0.0, "", 0.0, 0, false, 0.0, 0, 0.0)
+	f.Add("weird\"name", int64(-9), "1-4-1-1A", -1, -0.5, 1e9, "k,ernel", 0.25, 100, true, 0.0, -7, -1.0)
+	f.Add("ünïcode", int64(math.MaxInt64), "x", 1, 1e-12, 86400.0, "rhel", 0.2, 15, false, 48.0, 1024, 3.5)
+	f.Fuzz(func(t *testing.T, name string, seed int64, arch string, clients int,
+		think, duration float64, kernel string, rto float64, attempts int,
+		backoff bool, cores float64, threads int, overhead float64) {
+		for _, v := range []float64{think, duration, rto, cores, overhead} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("json.Marshal rejects NaN/Inf")
+			}
+		}
+		in := EffectiveConfigJSON{
+			Name:              name,
+			Seed:              seed,
+			Architecture:      arch,
+			Clients:           clients,
+			ThinkTimeSeconds:  think,
+			DurationSeconds:   duration,
+			Kernel:            kernel,
+			RTOSeconds:        rto,
+			MaxAttempts:       attempts,
+			Backoff:           backoff,
+			AppCores:          cores,
+			ThreadOverride:    threads,
+			OverheadPerThread: overhead,
+			Consolidation: &ConsolidationJSON{
+				Tier:                 arch,
+				BatchSize:            clients,
+				BatchIntervalSeconds: duration,
+				BatchClass:           name,
+			},
+		}
+		b1, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var out EffectiveConfigJSON
+		if err := json.Unmarshal(b1, &out); err != nil {
+			t.Fatalf("unmarshal own output %s: %v", b1, err)
+		}
+		b2, err := json.Marshal(out)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		// json.Marshal coerces invalid UTF-8 to U+FFFD — and emits it
+		// escaped (`�`) on the first pass but as a literal rune once
+		// the string actually contains U+FFFD — so byte-level fixed point
+		// and value equality only hold for valid string inputs.
+		if utf8.ValidString(name) && utf8.ValidString(arch) && utf8.ValidString(kernel) {
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("marshal is not a fixed point:\n  first:  %s\n  second: %s", b1, b2)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Errorf("round trip changed the value:\n  in:  %+v\n  out: %+v", in, out)
+			}
+		}
+		// From the second cycle on, marshalling must be a fixed point for
+		// any input: the summary JSON a run emits is already normalized.
+		var out2 EffectiveConfigJSON
+		if err := json.Unmarshal(b2, &out2); err != nil {
+			t.Fatalf("unmarshal normalized output %s: %v", b2, err)
+		}
+		b3, err := json.Marshal(out2)
+		if err != nil {
+			t.Fatalf("third marshal: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Errorf("normalized marshal is not a fixed point:\n  second: %s\n  third:  %s", b2, b3)
+		}
+	})
+}

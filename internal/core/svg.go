@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"ctqosim/internal/plot"
 )
@@ -27,9 +28,15 @@ func WriteSVGs(res *Result, dir string) error {
 		"histogram.svg": histogramChart(res),
 		"iowait.svg":    iowaitChart(res),
 	}
-	for name, chart := range files {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	// Sorted so a failure always blames the same file.
+	sort.Strings(names)
+	for _, name := range names {
 		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(chart.SVG()), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(files[name].SVG()), 0o644); err != nil {
 			return fmt.Errorf("write %s: %w", name, err)
 		}
 	}

@@ -1,0 +1,61 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check that
+// runs over one type-checked package at a time and reports Diagnostics.
+//
+// The repo builds offline — the x/tools module is deliberately not a
+// dependency — so this package re-creates the small slice of the API the
+// ctqo-lint suite needs (Analyzer, Pass, Diagnostic) on top of the
+// standard library's go/ast and go/types. Analyzers written against it
+// port to the real go/analysis framework by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags and
+	// //lint:allow suppression comments. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph help text; its first line is the summary.
+	Doc string
+	// Run applies the check to a single package and reports diagnostics
+	// through pass.Report. The returned value is ignored by this driver
+	// (kept in the signature for go/analysis compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands an Analyzer one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package. It may be incomplete if the
+	// package had type errors; analyzers must tolerate nil objects in
+	// TypesInfo lookups.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding in the source.
+	Pos token.Pos
+	// Message is the human-readable description.
+	Message string
+}

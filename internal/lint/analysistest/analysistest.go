@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages under a testdata directory and checks its diagnostics against
+// "// want" expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line may carry one or more expectations:
+//
+//	time.Now() // want `wall-clock`
+//	foo()      // want "first" "second"
+//
+// Each expectation is a regular expression that must match the message of
+// exactly one diagnostic reported on that line; diagnostics with no
+// matching expectation, and expectations with no matching diagnostic,
+// both fail the test. //lint:allow suppression is applied before
+// matching, so fixtures can also demonstrate the escape hatch.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ctqosim/internal/lint"
+	"ctqosim/internal/lint/analysis"
+	"ctqosim/internal/lint/loader"
+)
+
+// expectation is one parsed "// want" clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRx matches the quoted patterns after a "want" keyword.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts expectations from a file's comments.
+func parseWants(t *testing.T, l *loader.Loader, file *ast.File) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "/*"))
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := l.Fset.Position(c.Pos())
+			for _, q := range wantRx.FindAllString(rest, -1) {
+				pat := q
+				if strings.HasPrefix(q, "\"") {
+					u, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					pat = u
+				} else {
+					pat = strings.Trim(q, "`")
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// Run loads each fixture package from testdata/src/<path>, applies the
+// analyzer, and reports mismatches between diagnostics and expectations
+// through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	srcRoot := testdata + "/src"
+	for _, path := range paths {
+		l := loader.New("", "", srcRoot)
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", path, terr)
+		}
+		findings, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "")
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		lint.Sort(findings)
+
+		var wants []expectation
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, l, f)...)
+		}
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic at %s:%d matching %q, got none",
+					a.Name, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering f and reports
+// whether one existed.
+func claim(wants []expectation, f lint.Finding) bool {
+	for i := range wants {
+		w := &wants[i]
+		if w.matched || w.line != f.Line || w.file != f.File {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// RunExpectClean is a convenience for fixtures that must produce no
+// diagnostics at all (e.g. an allow-listed package).
+func RunExpectClean(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		l := loader.New("", "", testdata+"/src")
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		findings, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "")
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		for _, f := range findings {
+			t.Errorf("%s: unexpected diagnostic in clean fixture: %s", a.Name, f)
+		}
+	}
+}
+
+// String implements fmt.Stringer for error messages.
+func (e expectation) String() string {
+	return fmt.Sprintf("%s:%d ~ %s", e.file, e.line, e.re)
+}

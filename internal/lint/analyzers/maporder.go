@@ -1,0 +1,217 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// orderedSinks are call names that emit bytes (or records) in call order:
+// reaching one from inside a map range makes the output depend on Go's
+// randomized iteration order.
+var orderedSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteAll": true, "WriteFile": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "Marshal": true, "MarshalIndent": true,
+	"Observe": true, "Record": true,
+}
+
+// Maporder flags map iteration whose body has order-dependent effects:
+// appending to a slice that is never sorted afterwards, writing
+// CSV/JSON/SVG output, or concatenating strings. These make reports,
+// metrics and Perfetto exports differ between identical runs.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that append to unsorted slices or " +
+		"emit ordered output; sort the keys first",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch s := n.(type) {
+			case *ast.BlockStmt:
+				list = s.List
+			case *ast.CaseClause:
+				list = s.Body
+			case *ast.CommClause:
+				list = s.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs := asRange(stmt)
+				if rs == nil || !isMapType(pass.TypesInfo, rs.X) {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// asRange unwraps labels down to a range statement.
+func asRange(stmt ast.Stmt) *ast.RangeStmt {
+	for {
+		switch s := stmt.(type) {
+		case *ast.LabeledStmt:
+			stmt = s.Stmt
+		case *ast.RangeStmt:
+			return s
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapType reports whether the expression's type is a map.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body; rest is the statement list
+// following the loop in its enclosing block, consulted to accept the
+// canonical collect-keys-then-sort pattern.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	var appendTargets []string
+	reported := false
+	report := func(format string, args ...any) {
+		if !reported {
+			pass.Reportf(rs.For, format, args...)
+			reported = true
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if orderedSinks[name] {
+				report("map iteration feeds ordered output via %s: iterate sorted keys instead", name)
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN:
+				if len(n.Lhs) == 1 && isStringExpr(pass.TypesInfo, n.Lhs[0]) {
+					report("string built up in map iteration order: iterate sorted keys instead")
+				}
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) || !isAppendCall(pass.TypesInfo, rhs) {
+						continue
+					}
+					lhs := unparen(n.Lhs[i])
+					// Appending into a map-keyed bucket (m[k] = append(m[k], v))
+					// is per-key and order-insensitive.
+					if idx, ok := lhs.(*ast.IndexExpr); ok && isMapType(pass.TypesInfo, idx.X) {
+						continue
+					}
+					appendTargets = append(appendTargets, types.ExprString(lhs))
+				}
+			}
+		}
+		return !reported
+	})
+	if reported {
+		return
+	}
+	for _, target := range appendTargets {
+		if !sortedAfter(pass.TypesInfo, rest, target) {
+			report("map iteration appends to %s in nondeterministic order and it is never sorted afterwards", target)
+			return
+		}
+	}
+}
+
+// calleeName returns the bare name of a call's function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// sortedAfter reports whether a sort/slices call mentioning target (by
+// expression text) appears in the statements following the loop.
+func sortedAfter(info *types.Info, rest []ast.Stmt, target string) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(unparen(arg)) == target {
+					found = true
+					break
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

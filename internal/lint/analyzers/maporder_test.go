@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+	"ctqosim/internal/lint/analyzers"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Maporder, "maporder")
+}

@@ -1,0 +1,228 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// nilsafeDefaults hard-codes the PR-1 contract: exported methods on the
+// span tracer types must be safe to call on a nil receiver, so a disabled
+// tracer costs instrumented code neither branches nor allocations. Other
+// types opt in with a "//lint:nilsafe" comment on their declaration.
+var nilsafeDefaults = map[string][]string{
+	"ctqosim/internal/span": {"Tracer", "Trace", "Span"},
+}
+
+// nilsafeMarker is the opt-in annotation on a type declaration.
+const nilsafeMarker = "//lint:nilsafe"
+
+// Nilsafe enforces that exported pointer-receiver methods on nil-safe
+// types either begin with a nil-receiver guard or touch the receiver only
+// through other (checked) methods.
+var Nilsafe = &analysis.Analyzer{
+	Name: "nilsafe",
+	Doc: "exported methods on //lint:nilsafe types (and span.Tracer/" +
+		"Trace) must begin with a nil-receiver guard",
+	Run: runNilsafe,
+}
+
+func runNilsafe(pass *analysis.Pass) (any, error) {
+	checked := make(map[string]bool)
+	if pass.Pkg != nil {
+		for _, name := range nilsafeDefaults[pass.Pkg.Path()] {
+			checked[name] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+					checked[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(checked) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			if !fd.Name.IsExported() {
+				continue
+			}
+			typeName, ptr := recvType(fd.Recv.List[0].Type)
+			if !ptr || !checked[typeName] {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) != 1 || names[0].Name == "_" {
+				// An unnamed receiver cannot be dereferenced; trivially safe.
+				continue
+			}
+			recvObj := pass.TypesInfo.Defs[names[0]]
+			if recvObj == nil {
+				continue
+			}
+			if hasNilGuard(pass.TypesInfo, fd.Body, recvObj) {
+				continue
+			}
+			if use := firstUnsafeUse(pass.TypesInfo, fd.Body, recvObj); use != nil {
+				pass.Reportf(fd.Name.Pos(),
+					"exported method (*%s).%s on nil-safe type must begin with a nil-receiver guard (receiver dereferenced at %s)",
+					typeName, fd.Name.Name, pass.Fset.Position(use.Pos()))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasMarker reports whether a comment group contains the nilsafe marker.
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == nilsafeMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// recvType unwraps a receiver type expression to its base type name,
+// reporting whether it was a pointer receiver. Generic receivers
+// (*T[P]) unwrap through the index expression.
+func recvType(e ast.Expr) (name string, ptr bool) {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	base := star.X
+	for {
+		switch b := base.(type) {
+		case *ast.IndexExpr:
+			base = b.X
+		case *ast.IndexListExpr:
+			base = b.X
+		case *ast.Ident:
+			return b.Name, true
+		default:
+			return "", false
+		}
+	}
+}
+
+// hasNilGuard reports whether the body's first statement is an early
+// return guarded by recv == nil (possibly as one arm of an || chain).
+func hasNilGuard(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || !condChecksNil(info, ifs.Cond, recv) {
+		return false
+	}
+	for _, stmt := range ifs.Body.List {
+		if _, ok := stmt.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// condChecksNil reports whether cond contains "recv == nil" as itself or
+// as a disjunct of an || chain.
+func condChecksNil(info *types.Info, cond ast.Expr, recv types.Object) bool {
+	be, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op.String() {
+	case "||":
+		return condChecksNil(info, be.X, recv) || condChecksNil(info, be.Y, recv)
+	case "==":
+		return (isRecv(info, be.X, recv) && isNil(be.Y)) ||
+			(isRecv(info, be.Y, recv) && isNil(be.X))
+	}
+	return false
+}
+
+// isRecv reports whether e is a direct use of the receiver object.
+func isRecv(info *types.Info, e ast.Expr, recv types.Object) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == recv
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// firstUnsafeUse returns the first expression that would dereference a
+// nil receiver: a field access, an implicit indirection into a
+// value-receiver method, an index, or an explicit *recv. Uses that only
+// compare the receiver or forward it to pointer-receiver methods (which
+// carry their own guards) are fine.
+func firstUnsafeUse(info *types.Info, body *ast.BlockStmt, recv types.Object) ast.Node {
+	var unsafe ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if unsafe != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !isRecv(info, n.X, recv) {
+				return true
+			}
+			sel := info.Selections[n]
+			if sel == nil {
+				return true
+			}
+			switch sel.Kind() {
+			case types.FieldVal:
+				unsafe = n
+			case types.MethodVal:
+				// Calling a value-receiver method through a pointer
+				// implicitly dereferences it; pointer-receiver methods
+				// carry their own guards and stay safe.
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+					unsafe = n
+				}
+			}
+		case *ast.StarExpr:
+			if isRecv(info, n.X, recv) {
+				unsafe = n
+			}
+		case *ast.IndexExpr:
+			if isRecv(info, n.X, recv) {
+				unsafe = n
+			}
+		}
+		return unsafe == nil
+	})
+	return unsafe
+}

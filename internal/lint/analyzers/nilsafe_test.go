@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+	"ctqosim/internal/lint/analyzers"
+)
+
+func TestNilsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Nilsafe, "nilsafe")
+}

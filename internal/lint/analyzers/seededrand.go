@@ -1,0 +1,93 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// randGlobalFuncs are the math/rand package-level functions that draw
+// from (or reseed) the shared global source. Constructors (New,
+// NewSource, NewZipf) are fine — they are how seeded generators are made.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+// randV2GlobalFuncs are the math/rand/v2 equivalents; v2 has no Seed at
+// all, so its global functions are never reproducible.
+var randV2GlobalFuncs = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+}
+
+// randSourceCtors are the constructors whose argument must be an explicit
+// seed, not a clock read.
+var randSourceCtors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// timeNow matches the clock reads that make a seed irreproducible.
+var timeNow = map[string]bool{"Now": true}
+
+// Seededrand forbids the global math/rand source and time-seeded
+// generators: all randomness must flow from an explicitly seeded
+// *rand.Rand threaded through configuration, or replay breaks.
+var Seededrand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions and time-seeded sources; " +
+		"randomness must come from an explicitly seeded *rand.Rand",
+	Run: runSeededrand,
+}
+
+func runSeededrand(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				fn := funcUse(pass.TypesInfo, n)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "math/rand" && randGlobalFuncs[fn.Name()]:
+					pass.Reportf(n.Pos(),
+						"global math/rand.%s draws from the shared source: use an explicitly seeded *rand.Rand",
+						fn.Name())
+				case fn.Pkg().Path() == "math/rand/v2" && randV2GlobalFuncs[fn.Name()]:
+					pass.Reportf(n.Pos(),
+						"global math/rand/v2.%s is unseedable: use an explicitly seeded generator",
+						fn.Name())
+				}
+			case *ast.CallExpr:
+				sel, ok := unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := funcUse(pass.TypesInfo, sel.Sel)
+				if fn == nil || !randSourceCtors[fn.Name()] {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if usesPkgFunc(pass.TypesInfo, arg, "time", timeNow) {
+						pass.Reportf(n.Pos(),
+							"time-seeded rand.%s: a clock-derived seed is irreproducible; thread the seed through config",
+							fn.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

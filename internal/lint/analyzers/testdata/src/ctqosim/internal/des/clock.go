@@ -1,0 +1,27 @@
+package des
+
+import "time"
+
+// bad exercises every forbidden wall-clock read inside a sim-time
+// package.
+func bad() time.Duration {
+	start := time.Now()                 // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond)        // want `wall-clock time\.Sleep`
+	<-time.After(10 * time.Millisecond) // want `wall-clock time\.After`
+	tick := time.Tick(time.Second)      // want `wall-clock time\.Tick`
+	_ = tick
+	timer := time.NewTimer(time.Second) // want `wall-clock time\.NewTimer`
+	timer.Stop()
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+// escapeHatch demonstrates the //lint:allow override.
+func escapeHatch() time.Time {
+	return time.Now() //lint:allow wallclock boot-banner timestamp only
+}
+
+// durationsAreFine shows that time arithmetic and constants stay legal —
+// only host-clock reads are forbidden.
+func durationsAreFine(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}

@@ -1,0 +1,12 @@
+package live
+
+import "time"
+
+// measure uses the wall clock freely: internal/live drives real machines
+// and is outside the sim-time package allowlist, so nothing here is
+// flagged.
+func measure() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,67 @@
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// badAppend collects keys in iteration order and never sorts them.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badWrite emits output rows straight from the map.
+func badWrite(m map[string]int, w io.Writer) {
+	for k, v := range m { // want `ordered output via Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// badConcat builds a string in iteration order.
+func badConcat(m map[string]int) string {
+	out := ""
+	for k := range m { // want `string built up in map iteration order`
+		out += k
+	}
+	return out
+}
+
+// goodSortedAfter is the canonical fix: collect, then sort.
+func goodSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodAggregation is order-insensitive and stays legal.
+func goodAggregation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodBuckets appends into per-key map buckets — order-insensitive.
+func goodBuckets(m map[string]int, buckets map[int][]string) {
+	for k, v := range m {
+		buckets[v] = append(buckets[v], k)
+	}
+}
+
+// allowed demonstrates the //lint:allow override.
+func allowed(m map[string]int) []string {
+	var out []string
+	for k := range m { //lint:allow maporder the sole caller sorts
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package nilsafe
+
+// Tracer opts into the nil-safe method contract.
+//
+//lint:nilsafe
+type Tracer struct {
+	count int
+}
+
+// Guarded begins with the canonical guard.
+func (t *Tracer) Guarded() int {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// GuardedOr guards inside an || chain.
+func (t *Tracer) GuardedOr(extra bool) int {
+	if t == nil || extra {
+		return 0
+	}
+	return t.count
+}
+
+// Bad dereferences the receiver with no guard.
+func (t *Tracer) Bad() int { // want `nil-receiver guard`
+	return t.count
+}
+
+// Delegates touches the receiver only through checked methods, which is
+// nil-safe by induction.
+func (t *Tracer) Delegates() int {
+	return t.Guarded()
+}
+
+// Compares never dereferences.
+func (t *Tracer) Compares() bool {
+	return t != nil
+}
+
+// unexported methods are outside the exported-API contract.
+func (t *Tracer) internal() int { return t.count }
+
+// Escaped opts out explicitly.
+//
+//lint:allow nilsafe panics on nil by design
+func (t *Tracer) Escaped() int {
+	return t.count
+}
+
+// Plain never opted in, so its methods are unconstrained.
+type Plain struct{ n int }
+
+// NoContract is fine without a guard.
+func (p *Plain) NoContract() int { return p.n }

@@ -1,0 +1,29 @@
+package seededrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// bad draws from the global source and builds a time-seeded generator.
+func bad() {
+	_ = rand.Intn(10)  // want `global math/rand\.Intn`
+	rand.Seed(42)      // want `global math/rand\.Seed`
+	_ = randv2.IntN(4) // want `global math/rand/v2\.IntN`
+
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-seeded rand\.NewSource`
+	_ = r.Intn(10)
+}
+
+// good threads an explicit seed through, and methods on the seeded
+// generator are never flagged.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// allowed demonstrates the //lint:allow override.
+func allowed() int {
+	return rand.Intn(10) //lint:allow seededrand demo of the escape hatch
+}

@@ -1,0 +1,79 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// SimTimePackages are the import-path prefixes where time flows from the
+// discrete-event simulator, never from the host clock. internal/live (the
+// real-network harness) and internal/span's wall-clock collector path are
+// deliberately absent: they measure real machines.
+var SimTimePackages = []string{
+	"ctqosim/internal/des",
+	"ctqosim/internal/simnet",
+	"ctqosim/internal/server",
+	"ctqosim/internal/core",
+	"ctqosim/internal/burst",
+	"ctqosim/internal/workload",
+}
+
+// wallclockFuncs are the package-level time functions that read or wait
+// on the host clock. Conversions and constants (time.Duration,
+// time.Millisecond, ...) remain free to use.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock forbids host-clock reads inside simulated-time packages: a
+// single stray time.Now in a hot path silently breaks seed-for-seed
+// replay of the CTQO scenarios.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep/After/Tick/NewTimer/NewTicker in " +
+		"sim-time packages; simulated components must read the DES clock",
+	Run: runWallclock,
+}
+
+// inSimTime reports whether pkgPath falls under a sim-time prefix.
+func inSimTime(pkgPath string) bool {
+	for _, p := range SimTimePackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runWallclock(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !inSimTime(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := funcUse(pass.TypesInfo, id)
+			if fn == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"wall-clock time.%s in sim-time package %s: read the simulator clock instead",
+				fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

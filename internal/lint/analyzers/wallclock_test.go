@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+	"ctqosim/internal/lint/analyzers"
+)
+
+func TestWallclock(t *testing.T) {
+	// Flagged and //lint:allow cases inside a sim-time package.
+	analysistest.Run(t, "testdata", analyzers.Wallclock, "ctqosim/internal/des")
+	// The live harness is outside the sim-time set: identical calls are
+	// allowed there.
+	analysistest.RunExpectClean(t, "testdata", analyzers.Wallclock, "ctqosim/internal/live")
+}

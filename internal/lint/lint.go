@@ -1,0 +1,194 @@
+// Package lint is the driver behind cmd/ctqo-lint: it loads packages,
+// runs the determinism analyzers over them, applies //lint:allow
+// suppression comments and renders findings as text or JSON.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ctqosim/internal/lint/analysis"
+	"ctqosim/internal/lint/loader"
+)
+
+// Finding is one diagnostic after suppression, with a resolved position.
+type Finding struct {
+	// Analyzer names the check that fired.
+	Analyzer string `json:"analyzer"`
+	// File is the source file, relative to the module root when possible.
+	File string `json:"file"`
+	// Line and Col locate the finding (1-based).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message describes the problem.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// allowDirective is the suppression comment prefix: a comment of the form
+// "//lint:allow name[,name...] [reason]" on the flagged line, or on the
+// line directly above it, silences those analyzers for that line.
+const allowDirective = "//lint:allow"
+
+// allowedLines maps file line numbers to the analyzer names allowed on
+// them (and on the following line).
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					out[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding at pos is covered by an allow
+// directive on its own line or the line above.
+func suppressed(allowed map[string]map[int]map[string]bool, pos token.Position, analyzer string) bool {
+	byLine := allowed[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if byLine[line][analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPackage applies the analyzers to one loaded package and returns the
+// surviving findings, unsorted. Paths are reported relative to relDir
+// when possible.
+func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Analyzer, relDir string) ([]Finding, error) {
+	allowed := allowedLines(l.Fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := l.Fset.Position(d.Pos)
+			if suppressed(allowed, pos, a.Name) {
+				return
+			}
+			file := pos.Filename
+			if relDir != "" {
+				if rel, err := filepath.Rel(relDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				File:     file,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// Run loads every package named by paths and applies the analyzers,
+// returning findings sorted by position for deterministic output.
+func Run(l *loader.Loader, paths []string, analyzers []*analysis.Analyzer, relDir string) ([]Finding, error) {
+	var out []Finding
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		fs, err := RunPackage(l, pkg, analyzers, relDir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	Sort(out)
+	return out, nil
+}
+
+// Sort orders findings by file, line, column, analyzer, message.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteJSON renders findings as an indented JSON array (empty array, not
+// null, when there are none) followed by a newline.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	data, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// WriteText renders findings one per line.
+func WriteText(w io.Writer, fs []Finding) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ package simnet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ctqosim/internal/des"
@@ -159,12 +160,14 @@ func (t *Transport) Stats(dst string) HopStats {
 	return HopStats{}
 }
 
-// Destinations returns the names of all destinations with recorded traffic.
+// Destinations returns the names of all destinations with recorded
+// traffic, sorted so downstream reports are deterministic.
 func (t *Transport) Destinations() []string {
 	names := make([]string, 0, len(t.stats))
 	for name := range t.stats {
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	return names
 }
 

@@ -45,9 +45,10 @@ func WriteTraceEvents(w io.Writer, traces []*Trace) error {
 			Args: map[string]any{"name": fmt.Sprintf("request %d (%s, %v)",
 				t.RequestID, t.Class, root.Duration().Round(time.Millisecond))},
 		})
-		// A stable lane per tier, client first.
-		lanes := tierLanes(t)
-		for tier, tid := range lanes {
+		// A stable lane per tier, client first, emitted in lane order so
+		// the JSON is byte-identical between runs.
+		lanes, order := tierLanes(t)
+		for tid, tier := range order {
 			f.TraceEvents = append(f.TraceEvents, traceEvent{
 				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
 				Args: map[string]any{"name": tier},
@@ -78,8 +79,9 @@ func WriteTraceEvents(w io.Writer, traces []*Trace) error {
 }
 
 // tierLanes assigns each tier appearing in the trace a thread lane,
-// ordered by first appearance (root's client tier is lane 0).
-func tierLanes(t *Trace) map[string]int {
+// ordered by first appearance (root's client tier is lane 0). The second
+// result lists the tiers in lane order.
+func tierLanes(t *Trace) (map[string]int, []string) {
 	lanes := make(map[string]int)
 	order := []string{}
 	for _, s := range t.Spans() {
@@ -88,7 +90,7 @@ func tierLanes(t *Trace) map[string]int {
 			order = append(order, s.Tier)
 		}
 	}
-	return lanes
+	return lanes, order
 }
 
 // micros converts a duration to fractional microseconds.

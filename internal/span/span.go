@@ -110,6 +110,10 @@ func (s Span) Duration() time.Duration {
 }
 
 // Trace is one request's span tree, stored as a flat slice indexed by ID.
+// Exported methods are nil-receiver safe (enforced by ctqo-lint) so a
+// disabled tracer's nil traces cost callers nothing.
+//
+//lint:nilsafe
 type Trace struct {
 	// RequestID echoes the workload request.
 	RequestID uint64

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Transition is one weighted edge of a session model.
@@ -95,13 +96,7 @@ func (m *SessionModel) StationaryMix() *Mix {
 		names = append(names, name)
 	}
 	// Sort for determinism.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	for i, name := range names {
 		index[name] = i
 	}
