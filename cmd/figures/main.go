@@ -2,16 +2,24 @@
 // evaluation into an output directory: per-figure CSV timelines plus a
 // paper-vs-measured summary (the source of EXPERIMENTS.md).
 //
+// The per-figure simulations are independent seed-deterministic DES runs,
+// so they are fanned across a core.Runner worker pool (-parallel N;
+// default GOMAXPROCS, 1 = strictly serial). Results are assembled in
+// figure order regardless of scheduling, so every generated file is
+// byte-identical whatever the pool size.
+//
 // Usage:
 //
-//	figures [-out out] [-fig 3] [-quick]
+//	figures [-out out] [-fig 3] [-quick] [-parallel N] [-benchout file]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -40,45 +48,74 @@ func run(args []string) error {
 	outDir := fs.String("out", "out", "output directory")
 	only := fs.String("fig", "", "regenerate only this figure id (e.g. 3, 1a, 12)")
 	quick := fs.Bool("quick", false, "shorter runs for smoke checks")
+	parallel := fs.Int("parallel", 0,
+		"simulation worker pool size; 0 = GOMAXPROCS, 1 = serial (output is byte-identical either way)")
+	benchout := fs.String("benchout", "",
+		"run the regeneration twice (serial, then -parallel) and record the wall-clock comparison as JSON in this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchout != "" {
+		return benchParallel(*benchout, *outDir, *only, *quick, *parallel)
+	}
+	return regenerate(*outDir, *only, *quick, *parallel)
+}
+
+// regenerate runs the selected figures on a pool of `workers` and writes
+// CSVs, SVGs and the summary report. All simulation happens on the pool;
+// files and report lines are emitted in fixed figure order afterwards.
+func regenerate(outDir, only string, quick bool, workers int) error {
+	runner := core.NewRunner(workers)
+
+	var figs []figure
+	for _, fig := range figures(quick) {
+		if only == "" || fig.id == only {
+			figs = append(figs, fig)
+		}
 	}
 
 	var report strings.Builder
 	report.WriteString("paper-vs-measured summary (regenerate with: go run ./cmd/figures)\n")
 	fmt.Fprintf(&report, "generated for simulated durations%s\n\n",
-		map[bool]string{true: " (quick mode)", false: ""}[*quick])
+		map[bool]string{true: " (quick mode)", false: ""}[quick])
 
-	for _, fig := range figures(*quick) {
-		if *only != "" && fig.id != *only {
-			continue
-		}
+	results := make([]*core.Result, len(figs))
+	walls := make([]time.Duration, len(figs))
+	err := runner.Do(len(figs), func(i int) error {
 		start := time.Now()
-		res, err := core.New(fig.cfg).Run()
+		res, err := core.New(figs[i].cfg).Run()
 		if err != nil {
-			return fmt.Errorf("figure %s: %w", fig.id, err)
+			return fmt.Errorf("figure %s: %w", figs[i].id, err)
 		}
-		dir := filepath.Join(*outDir, "fig"+fig.id)
-		if err := core.WriteCSVs(res, dir); err != nil {
-			return fmt.Errorf("figure %s: %w", fig.id, err)
-		}
-		if err := core.WriteSVGs(res, dir); err != nil {
-			return fmt.Errorf("figure %s: %w", fig.id, err)
-		}
-		fmt.Fprintf(&report, "== Figure %s (%v wall)\n", fig.id,
-			time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(&report, "paper:    %s\n", fig.paper)
-		fmt.Fprintf(&report, "measured: %s\n\n", fig.render(res))
-		fmt.Printf("figure %s done (%v)\n", fig.id, time.Since(start).Round(time.Millisecond))
+		walls[i] = time.Since(start).Round(time.Millisecond)
+		results[i] = res
+		fmt.Printf("figure %s done (%v)\n", figs[i].id, walls[i])
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
-	if *only == "" || *only == "12" {
+	for i, fig := range figs {
+		dir := filepath.Join(outDir, "fig"+fig.id)
+		if err := core.WriteCSVs(results[i], dir); err != nil {
+			return fmt.Errorf("figure %s: %w", fig.id, err)
+		}
+		if err := core.WriteSVGs(results[i], dir); err != nil {
+			return fmt.Errorf("figure %s: %w", fig.id, err)
+		}
+		fmt.Fprintf(&report, "== Figure %s (%v wall)\n", fig.id, walls[i])
+		fmt.Fprintf(&report, "paper:    %s\n", fig.paper)
+		fmt.Fprintf(&report, "measured: %s\n\n", fig.render(results[i]))
+	}
+
+	if only == "" || only == "12" {
 		start := time.Now()
-		rows, err := core.RunFigure12(nil)
+		rows, err := runner.Figure12(nil)
 		if err != nil {
 			return fmt.Errorf("figure 12: %w", err)
 		}
-		if err := writeFig12CSV(filepath.Join(*outDir, "fig12", "throughput.csv"), rows); err != nil {
+		if err := writeFig12CSV(filepath.Join(outDir, "fig12", "throughput.csv"), rows); err != nil {
 			return err
 		}
 		fmt.Fprintf(&report, "== Figure 12 (%v wall)\n", time.Since(start).Round(time.Millisecond))
@@ -91,14 +128,64 @@ func run(args []string) error {
 		fmt.Printf("figure 12 done (%v)\n", time.Since(start).Round(time.Millisecond))
 	}
 
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	summaryPath := filepath.Join(*outDir, "summary.txt")
+	summaryPath := filepath.Join(outDir, "summary.txt")
 	if err := os.WriteFile(summaryPath, []byte(report.String()), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("\n%s\nsummary written to %s\n", report.String(), summaryPath)
+	return nil
+}
+
+// benchParallel times the full regeneration serially and then on the
+// pool, and records the comparison — the repo's parallel-runner perf
+// trajectory — as JSON (see BENCH_parallel.json at the repo root).
+func benchParallel(benchPath, outDir, only string, quick bool, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	serialStart := time.Now()
+	if err := regenerate(outDir, only, quick, 1); err != nil {
+		return fmt.Errorf("serial pass: %w", err)
+	}
+	serial := time.Since(serialStart)
+
+	parallelStart := time.Now()
+	if err := regenerate(outDir, only, quick, workers); err != nil {
+		return fmt.Errorf("parallel pass: %w", err)
+	}
+	par := time.Since(parallelStart)
+
+	record := struct {
+		Benchmark       string  `json:"benchmark"`
+		Quick           bool    `json:"quick"`
+		CPUs            int     `json:"cpus"`
+		Workers         int     `json:"workers"`
+		SerialSeconds   float64 `json:"serial_seconds"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		Speedup         float64 `json:"speedup"`
+	}{
+		Benchmark:       "figures-regeneration",
+		Quick:           quick,
+		CPUs:            runtime.NumCPU(),
+		Workers:         workers,
+		SerialSeconds:   serial.Seconds(),
+		ParallelSeconds: par.Seconds(),
+		Speedup:         serial.Seconds() / par.Seconds(),
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nserial %v, parallel(%d) %v — %.2fx; recorded in %s\n",
+		serial.Round(time.Millisecond), workers, par.Round(time.Millisecond),
+		record.Speedup, benchPath)
 	return nil
 }
 

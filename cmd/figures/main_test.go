@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -48,5 +51,91 @@ func TestRunSingleFigureQuick(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "Figure 9") {
 		t.Fatalf("summary does not mention figure 9:\n%s", data)
+	}
+}
+
+// wallClause matches the per-figure wall-clock annotations, the only
+// part of the generated output that legitimately varies run to run.
+var wallClause = regexp.MustCompile(`\([0-9a-z.µ]+ wall\)`)
+
+// TestParallelRegenerationByteIdentical regenerates the same figure with
+// -parallel 1 and -parallel 4 and requires every artifact to match byte
+// for byte (summary compared with wall-clock annotations stripped).
+func TestParallelRegenerationByteIdentical(t *testing.T) {
+	serialDir, parallelDir := t.TempDir(), t.TempDir()
+	if err := run([]string{"-out", serialDir, "-fig", "9", "-quick", "-parallel", "1"}); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if err := run([]string{"-out", parallelDir, "-fig", "9", "-quick", "-parallel", "4"}); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(serialDir, "fig9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("serial run produced no fig9 artifacts")
+	}
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(serialDir, "fig9", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(parallelDir, "fig9", e.Name()))
+		if err != nil {
+			t.Fatalf("parallel run missing artifact: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("fig9/%s differs between -parallel 1 and -parallel 4", e.Name())
+		}
+	}
+
+	sa, err := os.ReadFile(filepath.Join(serialDir, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := os.ReadFile(filepath.Join(parallelDir, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := wallClause.ReplaceAllString(string(sa), "(wall)")
+	cb := wallClause.ReplaceAllString(string(sb), "(wall)")
+	if ca != cb {
+		t.Errorf("summary differs between -parallel 1 and -parallel 4:\n--- serial\n%s\n--- parallel\n%s", ca, cb)
+	}
+}
+
+// TestBenchoutRecordsComparison checks the -benchout mode writes the
+// serial-vs-parallel wall-clock record (the BENCH_parallel.json shape).
+func TestBenchoutRecordsComparison(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH_parallel.json")
+	if err := run([]string{"-out", dir, "-fig", "9", "-quick", "-benchout", benchPath}); err != nil {
+		t.Fatalf("run -benchout: %v", err)
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("benchout not written: %v", err)
+	}
+	var rec struct {
+		Benchmark       string  `json:"benchmark"`
+		CPUs            int     `json:"cpus"`
+		Workers         int     `json:"workers"`
+		SerialSeconds   float64 `json:"serial_seconds"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		Speedup         float64 `json:"speedup"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("benchout is not valid JSON: %v\n%s", err, data)
+	}
+	if rec.Benchmark != "figures-regeneration" {
+		t.Errorf("benchmark = %q", rec.Benchmark)
+	}
+	if rec.SerialSeconds <= 0 || rec.ParallelSeconds <= 0 || rec.Speedup <= 0 {
+		t.Errorf("timings not recorded: %+v", rec)
+	}
+	if rec.Workers < 1 || rec.CPUs < 1 {
+		t.Errorf("pool shape not recorded: %+v", rec)
 	}
 }

@@ -5,9 +5,14 @@
 //	ntierlab list
 //	ntierlab run <scenario> [-duration 60s] [-seed 1] [-csv dir] [-json]
 //	ntierlab predict <rate req/s> <burst duration> <capacity>
-//	ntierlab fig12 [-points 100,200,400,800,1600]
-//	ntierlab matrix [-duration 45s]
-//	ntierlab replicate <scenario> [-n 5] [-duration 60s]
+//	ntierlab fig12 [-points 100,200,400,800,1600] [-parallel N]
+//	ntierlab matrix [-duration 45s] [-parallel N]
+//	ntierlab replicate <scenario> [-n 5] [-duration 60s] [-parallel N]
+//
+// The multi-run subcommands (fig12, matrix, replicate) fan their
+// independent simulations across a core.Runner worker pool: -parallel 0
+// (the default) uses GOMAXPROCS workers, -parallel 1 runs strictly
+// serially. Output is byte-identical whatever the pool size.
 package main
 
 import (
@@ -177,6 +182,7 @@ func predict(args []string) error {
 func fig12(args []string) error {
 	fs := flag.NewFlagSet("fig12", flag.ContinueOnError)
 	pointsFlag := fs.String("points", "", "comma-separated concurrency levels")
+	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,7 +196,7 @@ func fig12(args []string) error {
 			points = append(points, n)
 		}
 	}
-	rows, err := core.RunFigure12(points)
+	rows, err := core.NewRunner(*parallel).Figure12(points)
 	if err != nil {
 		return err
 	}
@@ -202,10 +208,18 @@ func fig12(args []string) error {
 	return nil
 }
 
+// parallelFlag registers the shared worker-pool flag on a multi-run
+// subcommand's flag set.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0,
+		"simulation worker pool size; 0 = GOMAXPROCS, 1 = serial (output is byte-identical either way)")
+}
+
 func replicate(args []string) error {
 	fs := flag.NewFlagSet("replicate", flag.ContinueOnError)
 	n := fs.Int("n", 5, "number of replications")
 	duration := fs.Duration("duration", 0, "override measured duration")
+	parallel := parallelFlag(fs)
 
 	if len(args) == 0 {
 		return fmt.Errorf("usage: ntierlab replicate <scenario> [-n 5]")
@@ -223,7 +237,7 @@ func replicate(args []string) error {
 	}
 	cfg.Trace = false
 
-	stats, err := core.RunReplications(cfg, *n)
+	stats, err := core.NewRunner(*parallel).Replicate(cfg, *n)
 	if err != nil {
 		return err
 	}
@@ -238,14 +252,17 @@ func replicate(args []string) error {
 func matrix(args []string) error {
 	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	duration := fs.Duration("duration", 45*time.Second, "measured duration per cell")
+	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Println("running the full CTQO grid (4 architectures × 2 tiers × 2 kinds)...")
-	cells, err := core.RunCTQOMatrix(core.MatrixConfig{Duration: *duration})
-	if err != nil {
-		return err
-	}
+	cells, err := core.RunCTQOMatrix(core.MatrixConfig{
+		Duration: *duration,
+		Workers:  *parallel,
+	})
+	// A failing cell no longer aborts the grid: print what completed,
+	// then report the joined per-cell errors.
 	fmt.Print(core.FormatMatrix(cells))
-	return nil
+	return err
 }

@@ -131,6 +131,18 @@ func TestRunJSONEchoesEffectiveConfig(t *testing.T) {
 	}
 }
 
+// TestParallelFlagOnMultiRunSubcommands exercises the -parallel worker
+// pool end to end on the two cheap multi-run subcommands (the matrix is
+// covered by the core tests; its wiring is identical).
+func TestParallelFlagOnMultiRunSubcommands(t *testing.T) {
+	if err := run([]string{"fig12", "-points", "100", "-parallel", "2"}); err != nil {
+		t.Fatalf("fig12 -parallel: %v", err)
+	}
+	if err := run([]string{"replicate", "fig1-wl4000", "-n", "2", "-duration", "5s", "-parallel", "2"}); err != nil {
+		t.Fatalf("replicate -parallel: %v", err)
+	}
+}
+
 func TestListAndPredictSucceed(t *testing.T) {
 	if err := run([]string{"list"}); err != nil {
 		t.Fatalf("list: %v", err)

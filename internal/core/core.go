@@ -174,6 +174,15 @@ func (g *GCPauseSpec) withDefaults() GCPauseSpec {
 }
 
 // Config fully describes one experiment.
+//
+// Configs are safe to submit to a Runner in batches that share pointer
+// fields (Mix, Kernel, Consolidation, LogFlush, GCPause): a run only
+// reads them — spec structs are copied by withDefaults before any
+// adjustment, and Mix/KernelProfile are read-only at run time. The one
+// escape hatch is Tweak, which runs on the worker goroutine: it receives
+// a per-run *ntier.SystemSpec it may mutate freely, but it must not
+// write state captured from outside (and must not read the wall clock or
+// global rand — the determinism contract applies inside it, too).
 type Config struct {
 	// Name labels the experiment in summaries.
 	Name string

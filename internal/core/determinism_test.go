@@ -3,9 +3,14 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"ctqosim/internal/ntier"
 	"ctqosim/internal/span"
 )
 
@@ -87,6 +92,149 @@ func TestRunSeedSensitivity(t *testing.T) {
 	}
 	if bytes.Equal(ja, jb) {
 		t.Error("changing the seed left the summary JSON byte-identical; the seed is not wired through")
+	}
+}
+
+// TestRunnerParallelFig3ByteIdentity extends the determinism contract to
+// the worker pool (DESIGN.md §9): running the fig3 scenario through
+// Runner at workers=4 must produce byte-for-byte the JSON summary,
+// rendered summary and CSV exports of workers=1. The batch pads the
+// scenario with sibling runs so the pool actually schedules concurrently
+// around the slot under test.
+func TestRunnerParallelFig3ByteIdentity(t *testing.T) {
+	base := Scenarios()["fig3"]
+	base = shorten(base, 20*time.Second)
+	base.Spans = true
+	batch := func() []Config {
+		cfgs := make([]Config, 4)
+		for i := range cfgs {
+			cfgs[i] = base
+			cfgs[i].Seed = int64(i + 1)
+		}
+		return cfgs
+	}
+
+	capture := func(workers int) (jsons [][]byte, summaries []string, csvDirs []string) {
+		t.Helper()
+		results, err := NewRunner(workers).Run(batch())
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		for i, res := range results {
+			js, err := res.JSON()
+			if err != nil {
+				t.Fatalf("JSON: %v", err)
+			}
+			dir := filepath.Join(t.TempDir(), fmt.Sprintf("w%d-%d", workers, i))
+			if err := WriteCSVs(res, dir); err != nil {
+				t.Fatalf("WriteCSVs: %v", err)
+			}
+			jsons = append(jsons, js)
+			summaries = append(summaries, res.Summary())
+			csvDirs = append(csvDirs, dir)
+		}
+		return jsons, summaries, csvDirs
+	}
+
+	serialJSON, serialSummary, serialCSV := capture(1)
+	parallelJSON, parallelSummary, parallelCSV := capture(4)
+
+	for i := range serialJSON {
+		if !bytes.Equal(serialJSON[i], parallelJSON[i]) {
+			t.Errorf("slot %d: JSON differs between workers=1 and workers=4:\n%s",
+				i, firstDiff(serialJSON[i], parallelJSON[i]))
+		}
+		if serialSummary[i] != parallelSummary[i] {
+			t.Errorf("slot %d: summary differs between workers=1 and workers=4:\n%s",
+				i, firstDiff([]byte(serialSummary[i]), []byte(parallelSummary[i])))
+		}
+		compareDirsBytewise(t, serialCSV[i], parallelCSV[i])
+	}
+}
+
+// TestRunnerParallelMatrixByteIdentity runs a reduced CTQO grid through
+// the pool at workers=1 and workers=4 and requires the rendered table —
+// the user-visible output of the matrix path — to match byte for byte.
+func TestRunnerParallelMatrixByteIdentity(t *testing.T) {
+	grid := func(workers int) string {
+		t.Helper()
+		cells, err := RunCTQOMatrix(MatrixConfig{
+			Clients:  7000,
+			Duration: 15 * time.Second,
+			Levels:   []ntier.NX{ntier.NX0, ntier.NX2},
+			Kinds:    []string{"cpu"},
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatalf("RunCTQOMatrix(workers=%d): %v", workers, err)
+		}
+		return FormatMatrix(cells)
+	}
+	serial := grid(1)
+	parallel := grid(4)
+	if serial != parallel {
+		t.Errorf("matrix table differs between workers=1 and workers=4:\n%s",
+			firstDiff([]byte(serial), []byte(parallel)))
+	}
+}
+
+// TestRunnerParallelFigure12ByteIdentity covers the third multi-run entry
+// point: the Fig. 12 concurrency sweep must return the same rows — and
+// hence the same rendered table — from one worker and from four.
+func TestRunnerParallelFigure12ByteIdentity(t *testing.T) {
+	sweep := func(workers int) string {
+		t.Helper()
+		rows, err := NewRunner(workers).Figure12([]int{100, 400})
+		if err != nil {
+			t.Fatalf("Figure12(workers=%d): %v", workers, err)
+		}
+		var b strings.Builder
+		for _, p := range rows {
+			fmt.Fprintf(&b, "%d,%.3f,%.3f\n", p.Concurrency, p.Sync, p.Async)
+		}
+		return b.String()
+	}
+	serial := sweep(1)
+	parallel := sweep(4)
+	if serial != parallel {
+		t.Errorf("fig12 rows differ between workers=1 and workers=4:\n%s",
+			firstDiff([]byte(serial), []byte(parallel)))
+	}
+}
+
+// compareDirsBytewise asserts two directories hold the same file names
+// with byte-identical contents.
+func compareDirsBytewise(t *testing.T, a, b string) {
+	t.Helper()
+	names := func(dir string) []string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("ReadDir(%s): %v", dir, err)
+		}
+		out := make([]string, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, e.Name())
+		}
+		sort.Strings(out)
+		return out
+	}
+	na, nb := names(a), names(b)
+	if fmt.Sprint(na) != fmt.Sprint(nb) {
+		t.Fatalf("directory listings differ: %v vs %v", na, nb)
+	}
+	for _, name := range na {
+		da, err := os.ReadFile(filepath.Join(a, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Errorf("%s differs between workers=1 and workers=4:\n%s",
+				name, firstDiff(da, db))
+		}
 	}
 }
 

@@ -41,12 +41,21 @@ type MatrixConfig struct {
 	Kinds []string
 	// Seed for every cell; zero defaults to 1.
 	Seed int64
+	// Workers is the Runner pool size fanning the grid's independent
+	// cells; zero defaults to GOMAXPROCS, 1 runs strictly serially. The
+	// returned rows are identical for every value.
+	Workers int
 }
 
 // RunCTQOMatrix runs the full evaluation grid of the paper's Section IV/V —
 // every architecture level against millibottlenecks in the app and db
-// tiers, both CPU and I/O — and returns one row per cell. It is the
-// conclusion's upstream/downstream summary, computed.
+// tiers, both CPU and I/O — and returns one row per cell, in fixed grid
+// order (level, kind, tier), regardless of the worker pool's scheduling.
+// It is the conclusion's upstream/downstream summary, computed.
+//
+// A failing cell does not abort the grid: its row is skipped, the
+// remaining cells still run, and the joined per-cell errors are returned
+// alongside the completed rows.
 func RunCTQOMatrix(cfg MatrixConfig) ([]MatrixCell, error) {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 7000
@@ -63,22 +72,27 @@ func RunCTQOMatrix(cfg MatrixConfig) ([]MatrixCell, error) {
 		kinds = []string{"cpu", "io"}
 	}
 
-	var out []MatrixCell
+	var cfgs []Config
 	for _, level := range levels {
 		for _, kind := range kinds {
 			for _, tier := range []Tier{TierApp, TierDB} {
-				cell, err := runCell(cfg, level, tier, kind)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, cell)
+				cfgs = append(cfgs, cellConfig(cfg, level, tier, kind))
 			}
 		}
 	}
-	return out, nil
+	results, err := NewRunner(cfg.Workers).Run(cfgs)
+	var out []MatrixCell
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		out = append(out, buildCell(res))
+	}
+	return out, err
 }
 
-func runCell(cfg MatrixConfig, level ntier.NX, tier Tier, kind string) (MatrixCell, error) {
+// cellConfig assembles one cell's experiment configuration.
+func cellConfig(cfg MatrixConfig, level ntier.NX, tier Tier, kind string) Config {
 	expCfg := Config{
 		Name:     fmt.Sprintf("matrix NX=%d %s %s", level, kind, tier),
 		NX:       level,
@@ -98,13 +112,22 @@ func runCell(cfg MatrixConfig, level ntier.NX, tier Tier, kind string) (MatrixCe
 		// identical millibottleneck; NX=3 absorbs even this one.
 		expCfg.Consolidation = &ConsolidationSpec{Tier: tier, BatchSize: 600}
 	}
-	res, err := New(expCfg).Run()
-	if err != nil {
-		return MatrixCell{}, err
-	}
+	return expCfg
+}
 
-	cell := MatrixCell{
-		NX:         level,
+// buildCell recovers a cell's grid coordinates from its result and
+// summarizes the run.
+func buildCell(res *Result) MatrixCell {
+	kind := "cpu"
+	tier := TierApp
+	if res.Config.LogFlush != nil {
+		kind = "io"
+		tier = res.Config.LogFlush.Tier
+	} else if res.Config.Consolidation != nil {
+		tier = res.Config.Consolidation.Tier
+	}
+	return MatrixCell{
+		NX:         res.Config.NX,
 		Bottleneck: tier,
 		Kind:       kind,
 		Drops:      res.DropsPerServer,
@@ -112,7 +135,6 @@ func runCell(cfg MatrixConfig, level ntier.NX, tier Tier, kind string) (MatrixCe
 		Direction:  overallDirection(res),
 		DropSite:   dominantDropSite(res),
 	}
-	return cell, nil
 }
 
 // overallDirection folds the per-episode classifications into one label.

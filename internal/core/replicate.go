@@ -42,25 +42,36 @@ type ReplicationStats struct {
 
 // RunReplications runs the experiment n times with seeds baseSeed+0..n-1
 // and returns cross-replication statistics — the standard methodology for
-// reporting simulation results with confidence intervals.
+// reporting simulation results with confidence intervals. Replications
+// are fanned across GOMAXPROCS workers; use Runner.Replicate to pick the
+// pool size (the statistics are seed-determined either way).
 func RunReplications(cfg Config, n int) (ReplicationStats, error) {
+	return NewRunner(0).Replicate(cfg, n)
+}
+
+// Replicate is RunReplications on this runner's pool: n independent
+// seeds, aggregated in seed order, so the statistics are byte-identical
+// for every pool size.
+func (r *Runner) Replicate(cfg Config, n int) (ReplicationStats, error) {
 	if n < 1 {
 		n = 1
 	}
 	cfg = cfg.withDefaults()
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = cfg.Seed + int64(i)
+	}
+	results, err := r.Run(cfgs)
+	if err != nil {
+		return ReplicationStats{}, fmt.Errorf("replications: %w", err)
+	}
 	var (
 		tputs, vlrts, drops, p99s []float64
 		seeds                     []int64
 	)
-	for i := 0; i < n; i++ {
-		seed := cfg.Seed + int64(i)
-		runCfg := cfg
-		runCfg.Seed = seed
-		res, err := New(runCfg).Run()
-		if err != nil {
-			return ReplicationStats{}, fmt.Errorf("replication %d: %w", i, err)
-		}
-		seeds = append(seeds, seed)
+	for i, res := range results {
+		seeds = append(seeds, cfgs[i].Seed)
 		tputs = append(tputs, res.Throughput)
 		vlrts = append(vlrts, float64(res.VLRTCount))
 		drops = append(drops, float64(res.TotalDrops))

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Runner fans independent experiments across a pool of worker goroutines.
+//
+// Every experiment in this repository is a self-contained, seed-driven,
+// single-threaded DES: all mutable state hangs off the per-run
+// des.Simulator, so distinct runs share nothing but read-only
+// configuration (class tables, kernel profiles, mixes). The Runner
+// exploits that: it executes many runs concurrently while keeping every
+// output byte-identical to the serial path, because results are indexed
+// by submission slot — never by completion order — and each run's
+// internal event order is untouched (parallel across runs, serial within
+// a run; DESIGN.md §9).
+//
+// The determinism contract therefore extends to the pool: for any config
+// slice, Runner{Workers: k}.Run produces byte-for-byte the same results
+// slice as Runner{Workers: 1}.Run, for every k.
+type Runner struct {
+	// Workers is the pool size. Zero or negative defaults to
+	// runtime.GOMAXPROCS(0); 1 degrades to today's strictly serial
+	// path (submission order, no goroutines).
+	Workers int
+}
+
+// NewRunner returns a Runner with the given pool size (0 = GOMAXPROCS).
+func NewRunner(workers int) *Runner { return &Runner{Workers: workers} }
+
+// workers resolves the effective pool size.
+func (r *Runner) workers() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// Run executes every config and returns the results indexed by
+// submission slot. A failed run leaves a nil slot and contributes a
+// "run i (name): ..." error to the joined error; completed slots are
+// returned alongside it, so a caller can keep partial output. Unlike the
+// pre-Runner entry points, a failure does not abort the remaining runs —
+// the same work completes whatever the pool size, which is what keeps
+// workers=K output identical to workers=1.
+func (r *Runner) Run(cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	err := r.Do(len(cfgs), func(slot int) error {
+		res, err := New(cfgs[slot]).Run()
+		if err != nil {
+			return fmt.Errorf("run %d (%s): %w", slot, cfgs[slot].Name, err)
+		}
+		results[slot] = res
+		return nil
+	})
+	return results, err
+}
+
+// Do is the generic pool engine under Run: it executes fn(0) … fn(n-1),
+// each exactly once, and returns the per-slot errors joined in slot
+// order (nil if all succeeded). With one worker the calls happen inline
+// in slot order; with more they are claimed from a channel by a fixed
+// pool, so at most workers() calls run at once. fn must confine its
+// writes to per-slot state (e.g. its own index of a pre-sized slice):
+// slot i's write happens-before Do returns, but nothing orders slots
+// relative to each other.
+func (r *Runner) Do(n int, fn func(slot int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	if w := min(r.workers(), n); w <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		slots := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range slots {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			slots <- i
+		}
+		close(slots)
+		wg.Wait()
+	}
+	return errors.Join(errs...)
+}

@@ -192,25 +192,37 @@ type ThroughputPoint struct {
 var Figure12Concurrencies = []int{100, 200, 400, 800, 1600}
 
 // RunFigure12 sweeps concurrency for both architectures and returns the
-// throughput table of Fig. 12.
+// throughput table of Fig. 12, fanning the 2×len(concurrencies)
+// independent runs across GOMAXPROCS workers; use Runner.Figure12 to
+// pick the pool size (the table is identical either way).
 func RunFigure12(concurrencies []int) ([]ThroughputPoint, error) {
+	return NewRunner(0).Figure12(concurrencies)
+}
+
+// Figure12 is RunFigure12 on this runner's pool: each concurrency level
+// contributes one sync and one async run, flattened into a single batch
+// and re-paired by submission slot, so the rows come back in sweep order
+// regardless of scheduling.
+func (r *Runner) Figure12(concurrencies []int) ([]ThroughputPoint, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = Figure12Concurrencies
 	}
-	out := make([]ThroughputPoint, 0, len(concurrencies))
+	cfgs := make([]Config, 0, 2*len(concurrencies))
 	for _, n := range concurrencies {
-		syncRes, err := New(Figure12Config(ntier.NX0, n)).Run()
-		if err != nil {
-			return nil, err
-		}
-		asyncRes, err := New(Figure12Config(ntier.NX3, n)).Run()
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs,
+			Figure12Config(ntier.NX0, n),
+			Figure12Config(ntier.NX3, n))
+	}
+	results, err := r.Run(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ThroughputPoint, 0, len(concurrencies))
+	for i, n := range concurrencies {
 		out = append(out, ThroughputPoint{
 			Concurrency: n,
-			Sync:        syncRes.Throughput,
-			Async:       asyncRes.Throughput,
+			Sync:        results[2*i].Throughput,
+			Async:       results[2*i+1].Throughput,
 		})
 	}
 	return out, nil
