@@ -148,6 +148,46 @@ func BenchmarkFigure12_ThroughputVsConcurrency(b *testing.B) {
 }
 
 // --- Ablations: the design choices DESIGN.md calls out -------------------
+//
+// Each ablation variant replicates its scenario benchReplications times per
+// benchmark iteration through the Runner worker pool, so the reported
+// metrics are replication means with a 95% CI half-width — at parallel
+// wall-clock cost rather than serial N× (on a multi-core machine the CI is
+// nearly free). A single representative run happens outside the timed
+// region to feed the qualitative log lines.
+
+// benchReplications is the per-variant replication count: small enough to
+// keep -bench wall time sane, enough for a Student's-t interval.
+const benchReplications = 3
+
+// runAblation runs one representative replication outside the timed region
+// (for qualitative logs), then replicates the scenario across the Runner
+// pool inside the timed loop and reports mean ± CI metrics.
+func runAblation(b *testing.B, cfg core.Config) *core.Result {
+	b.Helper()
+	cfg.Duration = benchDuration
+	res, err := core.New(cfg).Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var stats core.ReplicationStats
+	for i := 0; i < b.N; i++ {
+		stats, err = core.NewRunner(0).Replicate(cfg, benchReplications)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(stats.Throughput.Mean, "req/s")
+	b.ReportMetric(stats.Throughput.HalfWidth, "req/s±")
+	b.ReportMetric(stats.VLRT.Mean, "vlrt/run")
+	b.ReportMetric(stats.VLRT.HalfWidth, "vlrt±")
+	b.ReportMetric(stats.Drops.Mean, "drops/run")
+	b.ReportMetric(stats.Drops.HalfWidth, "drops±")
+	b.Logf("replicated ×%d (seeds %v): p99 %v ms", stats.Throughput.N, stats.Seeds, stats.P99Millis)
+	return res
+}
 
 // BenchmarkAblationRetransmitTimer shows the retransmission timer places
 // the histogram clusters: a 1s RTO moves them to 1/2/3s; the exponential
@@ -165,15 +205,11 @@ func BenchmarkAblationRetransmitTimer(b *testing.B) {
 	for _, v := range variants {
 		v := v
 		b.Run(v.name, func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.Figure1Config(7000)
-				cfg.Trace = false
-				cfg.RTO = v.rto
-				cfg.Backoff = v.backoff
-				res = runScenario(b, cfg)
-			}
-			reportCommon(b, res)
+			cfg := core.Figure1Config(7000)
+			cfg.Trace = false
+			cfg.RTO = v.rto
+			cfg.Backoff = v.backoff
+			res := runAblation(b, cfg)
 			b.Logf("clusters at %v s", res.Histogram().ModeClusters(0.0005))
 		})
 	}
@@ -185,16 +221,12 @@ func BenchmarkAblationBacklog(b *testing.B) {
 	for _, backlog := range []int{64, 128, 512} {
 		backlog := backlog
 		b.Run(fmt.Sprintf("backlog=%d", backlog), func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.Figure3Config()
-				cfg.Trace = false
-				cfg.Tweak = func(spec *ntier.SystemSpec) {
-					spec.Web.Backlog = backlog
-				}
-				res = runScenario(b, cfg)
+			cfg := core.Figure3Config()
+			cfg.Trace = false
+			cfg.Tweak = func(spec *ntier.SystemSpec) {
+				spec.Web.Backlog = backlog
 			}
-			reportCommon(b, res)
+			res := runAblation(b, cfg)
 			b.Logf("MaxSysQDepth(web)=%d drops=%d", 150+backlog, res.TotalDrops)
 		})
 	}
@@ -207,15 +239,11 @@ func BenchmarkAblationThreadPool(b *testing.B) {
 	for _, threads := range []int{150, 600, 2000} {
 		threads := threads
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.Figure3Config()
-				cfg.Trace = false
-				cfg.ThreadOverride = threads
-				cfg.OverheadPerThread = core.Figure12Overhead
-				res = runScenario(b, cfg)
-			}
-			reportCommon(b, res)
+			cfg := core.Figure3Config()
+			cfg.Trace = false
+			cfg.ThreadOverride = threads
+			cfg.OverheadPerThread = core.Figure12Overhead
+			res := runAblation(b, cfg)
 			b.Logf("threads=%d drops=%d throughput=%.0f", threads, res.TotalDrops, res.Throughput)
 		})
 	}
@@ -227,17 +255,13 @@ func BenchmarkAblationBurstLength(b *testing.B) {
 	for _, size := range []int{150, 300, 450, 600} {
 		size := size
 		b.Run(fmt.Sprintf("burstCPU=%dms", size), func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.Figure3Config()
-				cfg.Trace = false
-				cfg.Consolidation = &core.ConsolidationSpec{
-					Tier:      core.TierApp,
-					BatchSize: size, // 1ms of DB demand each → ~size ms of freeze
-				}
-				res = runScenario(b, cfg)
+			cfg := core.Figure3Config()
+			cfg.Trace = false
+			cfg.Consolidation = &core.ConsolidationSpec{
+				Tier:      core.TierApp,
+				BatchSize: size, // 1ms of DB demand each → ~size ms of freeze
 			}
-			reportCommon(b, res)
+			res := runAblation(b, cfg)
 			p := core.PredictOverflow(res.Throughput,
 				time.Duration(size)*time.Millisecond, 278)
 			b.Logf("model predicts %d drops/burst; measured %d drops over %d bursts",
@@ -252,16 +276,12 @@ func BenchmarkAblationConnPool(b *testing.B) {
 	for _, pool := range []int{25, 50, 200} {
 		pool := pool
 		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.Figure3Config()
-				cfg.Trace = false
-				cfg.Tweak = func(spec *ntier.SystemSpec) {
-					spec.DBConnPool = pool
-				}
-				res = runScenario(b, cfg)
+			cfg := core.Figure3Config()
+			cfg.Trace = false
+			cfg.Tweak = func(spec *ntier.SystemSpec) {
+				spec.DBConnPool = pool
 			}
-			reportCommon(b, res)
+			res := runAblation(b, cfg)
 			b.Logf("pool=%d peak MySQL queue=%.0f peak Tomcat queue=%.0f",
 				pool, res.QueueSeries("steady-mysql").Max(),
 				res.QueueSeries("steady-tomcat").Max())
@@ -293,14 +313,10 @@ func BenchmarkAblationKernelProfile(b *testing.B) {
 	for i := range profiles {
 		p := profiles[i]
 		b.Run(p.Name, func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.Figure3Config()
-				cfg.Trace = false
-				cfg.Kernel = &p
-				res = runScenario(b, cfg)
-			}
-			reportCommon(b, res)
+			cfg := core.Figure3Config()
+			cfg.Trace = false
+			cfg.Kernel = &p
+			res := runAblation(b, cfg)
 			b.Logf("%s: drops=%d p99=%v p100=%v clusters=%v",
 				p.Name, res.TotalDrops,
 				res.Recorder.Percentile(0.99).Round(time.Millisecond),
@@ -316,13 +332,9 @@ func BenchmarkAblationGCPause(b *testing.B) {
 	for _, level := range []ntier.NX{ntier.NX0, ntier.NX3} {
 		level := level
 		b.Run(level.String(), func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.GCMillibottleneckConfig(level)
-				cfg.Trace = false
-				res = runScenario(b, cfg)
-			}
-			reportCommon(b, res)
+			cfg := core.GCMillibottleneckConfig(level)
+			cfg.Trace = false
+			runAblation(b, cfg)
 		})
 	}
 }
@@ -342,18 +354,14 @@ func BenchmarkAblationLoadShedding(b *testing.B) {
 	for _, v := range variants {
 		v := v
 		b.Run(v.name, func(b *testing.B) {
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				cfg := core.Figure3Config()
-				cfg.Trace = false
-				if v.timeout > 0 {
-					cfg.Tweak = func(spec *ntier.SystemSpec) {
-						spec.Web.QueueTimeout = v.timeout
-					}
+			cfg := core.Figure3Config()
+			cfg.Trace = false
+			if v.timeout > 0 {
+				cfg.Tweak = func(spec *ntier.SystemSpec) {
+					spec.Web.QueueTimeout = v.timeout
 				}
-				res = runScenario(b, cfg)
 			}
-			reportCommon(b, res)
+			res := runAblation(b, cfg)
 			b.ReportMetric(float64(res.Recorder.FailedCount()), "failed/run")
 			b.Logf("%s: vlrt=%d failed=%d p99.9=%v", v.name,
 				res.VLRTCount, res.Recorder.FailedCount(),

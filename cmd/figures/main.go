@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"ctqosim/internal/benchrec"
 	"ctqosim/internal/core"
 )
 
@@ -175,12 +175,7 @@ func benchParallel(benchPath, outDir, only string, quick bool, workers int) erro
 		ParallelSeconds: par.Seconds(),
 		Speedup:         serial.Seconds() / par.Seconds(),
 	}
-	data, err := json.MarshalIndent(record, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(benchPath, data, 0o644); err != nil {
+	if err := benchrec.Update(benchPath, "figures_regeneration", record); err != nil {
 		return err
 	}
 	fmt.Printf("\nserial %v, parallel(%d) %v — %.2fx; recorded in %s\n",

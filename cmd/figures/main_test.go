@@ -107,7 +107,8 @@ func TestParallelRegenerationByteIdentical(t *testing.T) {
 }
 
 // TestBenchoutRecordsComparison checks the -benchout mode writes the
-// serial-vs-parallel wall-clock record (the BENCH_parallel.json shape).
+// serial-vs-parallel wall-clock record under its key of the keyed
+// BENCH_parallel.json shape (shared with ntierlab sweep via benchrec).
 func TestBenchoutRecordsComparison(t *testing.T) {
 	dir := t.TempDir()
 	benchPath := filepath.Join(dir, "BENCH_parallel.json")
@@ -118,7 +119,7 @@ func TestBenchoutRecordsComparison(t *testing.T) {
 	if err != nil {
 		t.Fatalf("benchout not written: %v", err)
 	}
-	var rec struct {
+	var entries map[string]struct {
 		Benchmark       string  `json:"benchmark"`
 		CPUs            int     `json:"cpus"`
 		Workers         int     `json:"workers"`
@@ -126,8 +127,12 @@ func TestBenchoutRecordsComparison(t *testing.T) {
 		ParallelSeconds float64 `json:"parallel_seconds"`
 		Speedup         float64 `json:"speedup"`
 	}
-	if err := json.Unmarshal(data, &rec); err != nil {
-		t.Fatalf("benchout is not valid JSON: %v\n%s", err, data)
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("benchout is not valid keyed JSON: %v\n%s", err, data)
+	}
+	rec, ok := entries["figures_regeneration"]
+	if !ok {
+		t.Fatalf("figures_regeneration key missing:\n%s", data)
 	}
 	if rec.Benchmark != "figures-regeneration" {
 		t.Errorf("benchmark = %q", rec.Benchmark)

@@ -8,22 +8,31 @@
 //	ntierlab fig12 [-points 100,200,400,800,1600] [-parallel N]
 //	ntierlab matrix [-duration 45s] [-parallel N]
 //	ntierlab replicate <scenario> [-n 5] [-duration 60s] [-parallel N]
+//	ntierlab sweep -scenario fig3 -seeds 1..500 [-shard 25] [-parallel N]
+//	                [-duration 60s] [-csv file] [-json] [-benchout file]
 //
-// The multi-run subcommands (fig12, matrix, replicate) fan their
+// The multi-run subcommands (fig12, matrix, replicate, sweep) fan their
 // independent simulations across a core.Runner worker pool: -parallel 0
 // (the default) uses GOMAXPROCS workers, -parallel 1 runs strictly
 // serially. Output is byte-identical whatever the pool size.
+//
+// sweep is the big-n engine: it partitions the seed range into shards,
+// merges the per-shard accumulators in shard order, and reports mean±95%
+// CI plus tail percentiles (p99, p99.9) of per-run VLRT counts, drops and
+// p99 response time — the quantities that need hundreds of replications.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"ctqosim/internal/benchrec"
 	"ctqosim/internal/core"
 )
 
@@ -39,7 +48,7 @@ func scenarios() map[string]core.Config { return core.Scenarios() }
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ntierlab <list|run|predict|fig12> ...")
+		return fmt.Errorf("usage: ntierlab <list|run|predict|fig12|matrix|replicate|sweep> ...")
 	}
 	switch args[0] {
 	case "list":
@@ -54,6 +63,8 @@ func run(args []string) error {
 		return matrix(args[1:])
 	case "replicate":
 		return replicate(args[1:])
+	case "sweep":
+		return sweep(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -238,14 +249,163 @@ func replicate(args []string) error {
 	cfg.Trace = false
 
 	stats, err := core.NewRunner(*parallel).Replicate(cfg, *n)
+	// Partial-results contract: print whatever replications completed,
+	// then report the joined per-seed errors.
+	if stats.Throughput.N > 0 {
+		fmt.Printf("%s over %d replications (95%% CI, seeds %v)\n",
+			cfg.Name, stats.Throughput.N, stats.Seeds)
+		fmt.Printf("  throughput [req/s]: %v\n", stats.Throughput)
+		fmt.Printf("  VLRT per run:       %v\n", stats.VLRT)
+		fmt.Printf("  drops per run:      %v\n", stats.Drops)
+		fmt.Printf("  p99 [ms]:           %v\n", stats.P99Millis)
+	}
+	return err
+}
+
+// parseSeedRange parses "lo..hi" (inclusive) or a bare count N (meaning
+// 1..N) into the first seed and the seed count.
+func parseSeedRange(s string) (start int64, count int, err error) {
+	if lo, hi, ok := strings.Cut(s, ".."); ok {
+		first, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("seeds: bad range start %q: %w", lo, err)
+		}
+		last, err := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("seeds: bad range end %q: %w", hi, err)
+		}
+		if last < first {
+			return 0, 0, fmt.Errorf("seeds: empty range %d..%d", first, last)
+		}
+		span := uint64(last - first + 1)
+		if span > 1<<31 {
+			return 0, 0, fmt.Errorf("seeds: range %d..%d is absurdly large", first, last)
+		}
+		return first, int(span), nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 1 {
+		return 0, 0, fmt.Errorf("seeds: want lo..hi or a positive count, got %q", s)
+	}
+	return 1, n, nil
+}
+
+func sweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	scenario := fs.String("scenario", "", "scenario to sweep (see: ntierlab list)")
+	seedsFlag := fs.String("seeds", "1..100", "seed range lo..hi (inclusive), or a count N meaning 1..N")
+	duration := fs.Duration("duration", 0, "override measured duration")
+	shard := fs.Int("shard", 0,
+		fmt.Sprintf("seeds per shard; 0 = default %d (output is identical for any worker count at a fixed shard size)", core.DefaultSweepShardSize))
+	csvPath := fs.String("csv", "", "write the per-metric CSV report to this file ('-' for stdout)")
+	asJSON := fs.Bool("json", false, "emit the JSON report instead of text")
+	benchout := fs.String("benchout", "",
+		"time the sweep serially and on the pool, and record the comparison under the \"sweep\" key of this JSON file")
+	parallel := parallelFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenario == "" {
+		return fmt.Errorf("usage: ntierlab sweep -scenario <name> -seeds 1..500 [flags]")
+	}
+	cfg, ok := scenarios()[*scenario]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", *scenario)
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	// Sweeps aggregate per-run statistics; per-event tracing would only
+	// slow the hundreds of replications down.
+	cfg.Trace = false
+	cfg.Spans = false
+	start, count, err := parseSeedRange(*seedsFlag)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s over %d replications (95%% CI, seeds %v)\n", cfg.Name, *n, stats.Seeds)
-	fmt.Printf("  throughput [req/s]: %v\n", stats.Throughput)
-	fmt.Printf("  VLRT per run:       %v\n", stats.VLRT)
-	fmt.Printf("  drops per run:      %v\n", stats.Drops)
-	fmt.Printf("  p99 [ms]:           %v\n", stats.P99Millis)
+	cfg.Seed = start
+	sc := core.SweepConfig{Config: cfg, Seeds: count, ShardSize: *shard}
+
+	if *benchout != "" {
+		return benchSweep(*benchout, sc, *parallel)
+	}
+
+	wallStart := time.Now()
+	stats, err := core.NewRunner(*parallel).Sweep(sc)
+	wall := time.Since(wallStart).Round(time.Millisecond)
+	// Partial-results contract: render what completed before reporting
+	// the joined per-seed errors.
+	if stats != nil {
+		if *asJSON {
+			data, jerr := stats.JSON()
+			if jerr != nil {
+				return jerr
+			}
+			fmt.Print(string(data))
+		} else {
+			fmt.Print(stats)
+			fmt.Printf("  %d runs in %v wall\n", stats.Completed, wall)
+		}
+		if *csvPath != "" {
+			if *csvPath == "-" {
+				fmt.Print(string(stats.CSV()))
+			} else if werr := os.WriteFile(*csvPath, stats.CSV(), 0o644); werr != nil {
+				return werr
+			} else if !*asJSON {
+				fmt.Printf("  CSV written to %s\n", *csvPath)
+			}
+		}
+	}
+	return err
+}
+
+// benchSweep times the sweep serially and on the pool and records the
+// comparison in the keyed BENCH_parallel.json format.
+func benchSweep(benchPath string, sc core.SweepConfig, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	serialStart := time.Now()
+	if _, err := core.NewRunner(1).Sweep(sc); err != nil {
+		return fmt.Errorf("serial pass: %w", err)
+	}
+	serial := time.Since(serialStart)
+
+	parallelStart := time.Now()
+	stats, err := core.NewRunner(workers).Sweep(sc)
+	if err != nil {
+		return fmt.Errorf("parallel pass: %w", err)
+	}
+	par := time.Since(parallelStart)
+
+	record := struct {
+		Benchmark       string  `json:"benchmark"`
+		Scenario        string  `json:"scenario"`
+		Seeds           int     `json:"seeds"`
+		ShardSize       int     `json:"shard_size"`
+		CPUs            int     `json:"cpus"`
+		Workers         int     `json:"workers"`
+		SerialSeconds   float64 `json:"serial_seconds"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		Speedup         float64 `json:"speedup"`
+	}{
+		Benchmark:       "ntierlab-sweep",
+		Scenario:        stats.Scenario,
+		Seeds:           stats.Requested,
+		ShardSize:       stats.ShardSize,
+		CPUs:            runtime.NumCPU(),
+		Workers:         workers,
+		SerialSeconds:   serial.Seconds(),
+		ParallelSeconds: par.Seconds(),
+		Speedup:         serial.Seconds() / par.Seconds(),
+	}
+	if err := benchrec.Update(benchPath, "sweep", record); err != nil {
+		return err
+	}
+	fmt.Print(stats)
+	fmt.Printf("  serial %v, parallel(%d) %v — %.2fx; recorded in %s\n",
+		serial.Round(time.Millisecond), workers, par.Round(time.Millisecond),
+		record.Speedup, benchPath)
 	return nil
 }
 

@@ -43,6 +43,11 @@ func TestRunDispatchErrors(t *testing.T) {
 		{[]string{"predict", "1000", "x", "278"}, "duration"},
 		{[]string{"predict", "1000", "400ms", "x"}, "capacity"},
 		{[]string{"fig12", "-points", "a,b"}, "points"},
+		{[]string{"sweep"}, "usage"},
+		{[]string{"sweep", "-scenario", "no-such-scenario"}, "unknown scenario"},
+		{[]string{"sweep", "-scenario", "fig3", "-seeds", "nope"}, "seeds"},
+		{[]string{"sweep", "-scenario", "fig3", "-seeds", "9..3"}, "empty range"},
+		{[]string{"sweep", "-scenario", "fig3", "-seeds", "0"}, "positive count"},
 	}
 	for _, tt := range tests {
 		err := run(tt.args)
@@ -140,6 +145,78 @@ func TestParallelFlagOnMultiRunSubcommands(t *testing.T) {
 	}
 	if err := run([]string{"replicate", "fig1-wl4000", "-n", "2", "-duration", "5s", "-parallel", "2"}); err != nil {
 		t.Fatalf("replicate -parallel: %v", err)
+	}
+}
+
+func TestParseSeedRange(t *testing.T) {
+	tests := []struct {
+		in    string
+		start int64
+		count int
+		fails bool
+	}{
+		{"1..500", 1, 500, false},
+		{"42..42", 42, 1, false},
+		{"7", 1, 7, false},
+		{" 10 .. 12 ", 10, 3, false},
+		{"-3..2", -3, 6, false},
+		{"9..3", 0, 0, true},
+		{"", 0, 0, true},
+		{"a..b", 0, 0, true},
+		{"-1", 0, 0, true},
+	}
+	for _, tt := range tests {
+		start, count, err := parseSeedRange(tt.in)
+		if tt.fails {
+			if err == nil {
+				t.Errorf("parseSeedRange(%q): no error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSeedRange(%q): %v", tt.in, err)
+		} else if start != tt.start || count != tt.count {
+			t.Errorf("parseSeedRange(%q) = %d, %d; want %d, %d", tt.in, start, count, tt.start, tt.count)
+		}
+	}
+}
+
+// TestSweepSubcommand exercises the sweep CLI end to end: the text report,
+// a CSV file, and the benchout record (which is keyed JSON).
+func TestSweepSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := dir + "/sweep.csv"
+	if err := run([]string{"sweep", "-scenario", "fig1-wl4000", "-seeds", "1..4",
+		"-duration", "5s", "-shard", "2", "-parallel", "2", "-csv", csvPath}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("sweep wrote no CSV: %v", err)
+	}
+	if !strings.Contains(string(csv), "vlrt_per_run") {
+		t.Fatalf("CSV missing metrics:\n%s", csv)
+	}
+
+	benchPath := dir + "/BENCH_parallel.json"
+	if err := run([]string{"sweep", "-scenario", "fig1-wl4000", "-seeds", "2",
+		"-duration", "5s", "-parallel", "2", "-benchout", benchPath}); err != nil {
+		t.Fatalf("sweep -benchout: %v", err)
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("benchout wrote no record: %v", err)
+	}
+	var rec map[string]struct {
+		Benchmark string  `json:"benchmark"`
+		Seeds     int     `json:"seeds"`
+		Speedup   float64 `json:"speedup"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("benchout record does not parse: %v\n%s", err, data)
+	}
+	if rec["sweep"].Benchmark != "ntierlab-sweep" || rec["sweep"].Seeds != 2 || rec["sweep"].Speedup <= 0 {
+		t.Fatalf("sweep record wrong: %+v", rec)
 	}
 }
 

@@ -1,0 +1,41 @@
+// Package benchrec maintains BENCH_parallel.json, the repo's wall-clock
+// record for the parallel runner: a single JSON object keyed by benchmark
+// name ("figures_regeneration", "sweep", ...), each key holding one
+// serial-vs-parallel measurement. Keeping the file keyed lets the CI
+// bench-parallel job refresh one benchmark's record without clobbering
+// the others.
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Update reads the JSON object at path (if any), replaces key with
+// record, and writes the object back with stable (sorted) keys. A legacy
+// flat record — the pre-keyed format whose top level was a single
+// measurement with a "benchmark" field — is discarded rather than merged,
+// so its measurement fields don't linger as bogus benchmark keys.
+func Update(path, key string, record any) error {
+	entries := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(data, &entries) != nil || entries["benchmark"] != nil {
+			entries = map[string]json.RawMessage{}
+		}
+	}
+	raw, err := json.Marshal(record)
+	if err != nil {
+		return fmt.Errorf("benchrec: marshal %q record: %w", key, err)
+	}
+	entries[key] = raw
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchrec: marshal record file: %w", err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("benchrec: %w", err)
+	}
+	return nil
+}

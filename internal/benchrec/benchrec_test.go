@@ -1,0 +1,85 @@
+package benchrec
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	Benchmark string  `json:"benchmark"`
+	Speedup   float64 `json:"speedup"`
+}
+
+func TestUpdateCreatesAndPreserves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+
+	if err := Update(path, "figures_regeneration", rec{Benchmark: "figures", Speedup: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Update(path, "sweep", rec{Benchmark: "sweep", Speedup: 3.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]rec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("record file does not parse: %v\n%s", err, data)
+	}
+	if got["figures_regeneration"].Speedup != 2.5 {
+		t.Errorf("figures record clobbered: %+v", got)
+	}
+	if got["sweep"].Speedup != 3.5 {
+		t.Errorf("sweep record wrong: %+v", got)
+	}
+
+	// Refreshing one key must not disturb the other.
+	if err := Update(path, "sweep", rec{Benchmark: "sweep", Speedup: 4.0}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["figures_regeneration"].Speedup != 2.5 || got["sweep"].Speedup != 4.0 {
+		t.Errorf("refresh disturbed sibling keys: %+v", got)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("record file should end with a newline")
+	}
+}
+
+// TestUpdateDiscardsLegacyFlatRecord: the pre-keyed format was a single
+// flat measurement object; its fields must not survive as keys.
+func TestUpdateDiscardsLegacyFlatRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	legacy := `{"benchmark":"figures-regeneration","cpus":1,"speedup":0.99}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Update(path, "sweep", rec{Benchmark: "sweep", Speedup: 3.0}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["cpus"]; ok {
+		t.Errorf("legacy flat fields leaked into the keyed record:\n%s", data)
+	}
+	if _, ok := got["sweep"]; !ok {
+		t.Errorf("sweep key missing:\n%s", data)
+	}
+}
+
+func TestUpdateUnreadableDir(t *testing.T) {
+	if err := Update(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"), "k", rec{}); err == nil {
+		t.Fatal("expected a write error")
+	}
+}

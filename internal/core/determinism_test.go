@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -199,6 +200,111 @@ func TestRunnerParallelFigure12ByteIdentity(t *testing.T) {
 	if serial != parallel {
 		t.Errorf("fig12 rows differ between workers=1 and workers=4:\n%s",
 			firstDiff([]byte(serial), []byte(parallel)))
+	}
+}
+
+// TestSweepParallelByteIdentity extends the §9 byte-identity contract to
+// the sharded sweep engine at acceptance scale: a 200-seed sweep must
+// render byte-identical CSV, JSON and text reports from one worker and
+// from several (including a worker count that does not divide the shard
+// count), because shards are merged in shard order regardless of which
+// worker finished them when.
+func TestSweepParallelByteIdentity(t *testing.T) {
+	sc := SweepConfig{Config: tinySweepConfig(), Seeds: 200, ShardSize: 16}
+	type rendering struct {
+		csv, js []byte
+		text    string
+	}
+	capture := func(workers int) rendering {
+		t.Helper()
+		stats, err := NewRunner(workers).Sweep(sc)
+		if err != nil {
+			t.Fatalf("Sweep(workers=%d): %v", workers, err)
+		}
+		js, err := stats.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return rendering{csv: stats.CSV(), js: js, text: stats.String()}
+	}
+	serial := capture(1)
+	for _, workers := range []int{4, 7} {
+		parallel := capture(workers)
+		if !bytes.Equal(serial.csv, parallel.csv) {
+			t.Errorf("sweep CSV differs between workers=1 and workers=%d:\n%s",
+				workers, firstDiff(serial.csv, parallel.csv))
+		}
+		if !bytes.Equal(serial.js, parallel.js) {
+			t.Errorf("sweep JSON differs between workers=1 and workers=%d:\n%s",
+				workers, firstDiff(serial.js, parallel.js))
+		}
+		if serial.text != parallel.text {
+			t.Errorf("sweep text differs between workers=1 and workers=%d:\n%s",
+				workers, firstDiff([]byte(serial.text), []byte(parallel.text)))
+		}
+	}
+}
+
+// TestReplicatePartialFailureByteIdentity covers the Runner partial-
+// failure path across pool sizes: when part of a replication's seed range
+// is invalid (it runs past MaxInt64), the partial statistics AND the
+// joined error text must be identical at workers=1 and workers=4 — a
+// failure's position in the output may not depend on scheduling.
+func TestReplicatePartialFailureByteIdentity(t *testing.T) {
+	cfg := tinySweepConfig()
+	cfg.Seed = math.MaxInt64 - 2 // 3 valid seeds, 2 invalid
+	capture := func(workers int) (string, string) {
+		t.Helper()
+		stats, err := NewRunner(workers).Replicate(cfg, 5)
+		if err == nil {
+			t.Fatalf("Replicate(workers=%d): expected a joined error", workers)
+		}
+		if stats.Throughput.N != 3 || len(stats.Seeds) != 3 {
+			t.Fatalf("Replicate(workers=%d): partial stats N=%d seeds=%v, want 3 completed",
+				workers, stats.Throughput.N, stats.Seeds)
+		}
+		return fmt.Sprintf("%+v", stats), err.Error()
+	}
+	serialStats, serialErr := capture(1)
+	parallelStats, parallelErr := capture(4)
+	if serialStats != parallelStats {
+		t.Errorf("partial stats differ between workers=1 and workers=4:\n%s",
+			firstDiff([]byte(serialStats), []byte(parallelStats)))
+	}
+	if serialErr != parallelErr {
+		t.Errorf("joined error differs between workers=1 and workers=4:\n%s",
+			firstDiff([]byte(serialErr), []byte(parallelErr)))
+	}
+}
+
+// TestSweepPartialFailureByteIdentity is the sweep-engine counterpart:
+// with the last shard entirely invalid and the middle one partially so,
+// every rendering and the joined error text must match across pool sizes.
+func TestSweepPartialFailureByteIdentity(t *testing.T) {
+	cfg := tinySweepConfig()
+	cfg.Seed = math.MaxInt64 - 5 // seeds +0..5 fit; +6..11 wrap
+	sc := SweepConfig{Config: cfg, Seeds: 12, ShardSize: 4}
+	capture := func(workers int) (csv []byte, errText string) {
+		t.Helper()
+		stats, err := NewRunner(workers).Sweep(sc)
+		if err == nil {
+			t.Fatalf("Sweep(workers=%d): expected a joined error", workers)
+		}
+		if stats.Completed != 6 || stats.Failed != 6 {
+			t.Fatalf("Sweep(workers=%d): completed/failed = %d/%d, want 6/6",
+				workers, stats.Completed, stats.Failed)
+		}
+		return stats.CSV(), err.Error()
+	}
+	serialCSV, serialErr := capture(1)
+	parallelCSV, parallelErr := capture(4)
+	if !bytes.Equal(serialCSV, parallelCSV) {
+		t.Errorf("partial sweep CSV differs between workers=1 and workers=4:\n%s",
+			firstDiff(serialCSV, parallelCSV))
+	}
+	if serialErr != parallelErr {
+		t.Errorf("joined error differs between workers=1 and workers=4:\n%s",
+			firstDiff([]byte(serialErr), []byte(parallelErr)))
 	}
 }
 

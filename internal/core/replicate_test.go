@@ -81,11 +81,100 @@ func TestTValueTable(t *testing.T) {
 	if tValue95(1) != 12.706 || tValue95(30) != 2.042 {
 		t.Fatal("t-table wrong")
 	}
-	if tValue95(1000) != 1.96 {
-		t.Fatal("asymptotic t wrong")
+	// True two-sided 95% values past the table edge; the expansion must
+	// track them to ~1e-3, not jump to 1.96 at df=31.
+	for _, tt := range []struct {
+		df   int
+		want float64
+	}{
+		{40, 2.021}, {50, 2.009}, {60, 2.000}, {80, 1.990},
+		{100, 1.984}, {120, 1.980}, {1000, 1.962},
+	} {
+		if got := tValue95(tt.df); math.Abs(got-tt.want) > 2e-3 {
+			t.Errorf("tValue95(%d) = %v, want ~%v", tt.df, got, tt.want)
+		}
+	}
+	if got := tValue95(1 << 30); math.Abs(got-1.96) > 1e-4 {
+		t.Errorf("asymptotic t = %v, want ~1.96", got)
 	}
 	if tValue95(0) != 0 {
 		t.Fatal("df=0 should return 0")
+	}
+}
+
+// TestTValueMonotone sweeps df across the table edge and the expansion:
+// the critical value must be strictly decreasing (more data, tighter CI)
+// and never dip below the normal quantile. The old implementation jumped
+// from 2.042 at df=30 straight to 1.96 at df=31.
+func TestTValueMonotone(t *testing.T) {
+	prev := tValue95(1)
+	for df := 2; df <= 2000; df++ {
+		cur := tValue95(df)
+		if cur >= prev {
+			t.Fatalf("tValue95(%d) = %v >= tValue95(%d) = %v; not decreasing", df, cur, df-1, prev)
+		}
+		if cur < 1.9599 {
+			t.Fatalf("tValue95(%d) = %v below the normal quantile", df, cur)
+		}
+		prev = cur
+	}
+	// The old cliff: 2.042 -> 1.96 was a 4% understatement. The step at
+	// the table edge must now be a smooth ~0.1%.
+	if drop := tValue95(30) - tValue95(31); drop > 0.005 {
+		t.Fatalf("df=30 -> 31 step = %v, want < 0.005", drop)
+	}
+	if drop := tValue95(40) - tValue95(41); drop > 0.005 {
+		t.Fatalf("df=40 -> 41 step = %v, want < 0.005", drop)
+	}
+}
+
+// TestReplicateSeedOverflow: a base seed near MaxInt64 must produce clear
+// per-replication errors for the wrapping seeds and partial stats for the
+// seeds that fit — never a silently wrapped negative seed.
+func TestReplicateSeedOverflow(t *testing.T) {
+	cfg := shorten(Config{Name: "tiny", Clients: 20, WarmUp: time.Second}, 2*time.Second)
+	cfg.Seed = math.MaxInt64 - 1 // seeds MaxInt64-1, MaxInt64 fit; +2, +3 wrap
+	stats, err := RunReplications(cfg, 4)
+	if err == nil {
+		t.Fatal("overflowing seed range returned nil error")
+	}
+	if !strings.Contains(err.Error(), "overflows int64") {
+		t.Fatalf("error %q does not mention the overflow", err)
+	}
+	if len(stats.Seeds) != 2 || stats.Seeds[0] != math.MaxInt64-1 || stats.Seeds[1] != math.MaxInt64 {
+		t.Fatalf("partial seeds = %v, want the two valid ones", stats.Seeds)
+	}
+	if stats.Throughput.N != 2 {
+		t.Fatalf("partial stats aggregated N = %d, want 2", stats.Throughput.N)
+	}
+	// Entirely-overflowing range: no runs, stats empty, error still clear.
+	cfg.Seed = math.MaxInt64
+	stats, err = RunReplications(cfg, 3)
+	if err == nil || !strings.Contains(err.Error(), "overflows int64") {
+		t.Fatalf("err = %v, want overflow error", err)
+	}
+	if stats.Throughput.N != 1 {
+		t.Fatalf("N = %d, want 1 (only seed MaxInt64 itself runs)", stats.Throughput.N)
+	}
+}
+
+func TestValidSeedSpan(t *testing.T) {
+	tests := []struct {
+		base int64
+		n    int
+		want int
+	}{
+		{1, 5, 5},
+		{math.MaxInt64 - 4, 5, 5},
+		{math.MaxInt64 - 3, 5, 4},
+		{math.MaxInt64, 5, 1},
+		{math.MaxInt64, 1, 1},
+		{-10, 5, 5},
+	}
+	for _, tt := range tests {
+		if got := validSeedSpan(tt.base, tt.n); got != tt.want {
+			t.Errorf("validSeedSpan(%d, %d) = %d, want %d", tt.base, tt.n, got, tt.want)
+		}
 	}
 }
 

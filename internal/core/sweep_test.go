@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySweepConfig is a sub-millisecond scenario for big-n sweep tests.
+func tinySweepConfig() Config {
+	return Config{Name: "tiny-sweep", Clients: 30, WarmUp: time.Second, Duration: 2 * time.Second}
+}
+
+func TestSweepBasics(t *testing.T) {
+	stats, err := RunSweep(SweepConfig{Config: tinySweepConfig(), Seeds: 60, ShardSize: 16})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if stats.Requested != 60 || stats.Completed != 60 || stats.Failed != 0 {
+		t.Fatalf("requested/completed/failed = %d/%d/%d", stats.Requested, stats.Completed, stats.Failed)
+	}
+	if stats.SeedStart != 1 {
+		t.Fatalf("seedStart = %d, want the defaulted 1", stats.SeedStart)
+	}
+	if stats.Shards != 4 || stats.ShardSize != 16 {
+		t.Fatalf("shards = %d × %d, want 4 × 16", stats.Shards, stats.ShardSize)
+	}
+	if stats.Throughput.N != 60 || stats.Throughput.Mean <= 0 {
+		t.Fatalf("throughput = %+v", stats.Throughput)
+	}
+	for _, m := range []MetricSweep{stats.Throughput, stats.VLRT, stats.Drops, stats.P99Millis} {
+		if m.Min > m.P50 || m.P50 > m.P90 || m.P90 > m.P99 || m.P99 > m.P999 || m.P999 > m.Max {
+			t.Fatalf("quantiles out of order: %+v", m)
+		}
+		ci := m.MeanCI()
+		if ci.Low() > ci.Mean || ci.High() < ci.Mean {
+			t.Fatalf("CI does not bracket the mean: %+v", m)
+		}
+	}
+}
+
+func TestSweepClampsAndDefaults(t *testing.T) {
+	stats, err := RunSweep(SweepConfig{Config: tinySweepConfig()})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if stats.Requested != 1 || stats.Completed != 1 {
+		t.Fatalf("zero Seeds should clamp to 1, got %d/%d", stats.Requested, stats.Completed)
+	}
+	if stats.ShardSize != DefaultSweepShardSize {
+		t.Fatalf("shardSize = %d, want default %d", stats.ShardSize, DefaultSweepShardSize)
+	}
+	if stats.Throughput.CI95 != 0 {
+		t.Fatalf("single-run CI half-width = %v, want 0", stats.Throughput.CI95)
+	}
+}
+
+// TestSweepMatchesReplicate cross-checks the two replication engines: over
+// the same seed range, the sweep's moment-accumulated mean±CI must equal
+// Runner.Replicate's slice-based meanCI to float tolerance, and the
+// completed-seed counts must agree.
+func TestSweepMatchesReplicate(t *testing.T) {
+	cfg := tinySweepConfig()
+	const n = 40
+	stats, err := RunSweep(SweepConfig{Config: cfg, Seeds: n, ShardSize: 7})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	rep, err := RunReplications(cfg, n)
+	if err != nil {
+		t.Fatalf("RunReplications: %v", err)
+	}
+	pairs := []struct {
+		name  string
+		sweep MetricSweep
+		repl  MeanCI
+	}{
+		{"throughput", stats.Throughput, rep.Throughput},
+		{"vlrt", stats.VLRT, rep.VLRT},
+		{"drops", stats.Drops, rep.Drops},
+		{"p99ms", stats.P99Millis, rep.P99Millis},
+	}
+	for _, p := range pairs {
+		if p.sweep.N != p.repl.N {
+			t.Errorf("%s: N %d vs %d", p.name, p.sweep.N, p.repl.N)
+		}
+		if relDiff(p.sweep.Mean, p.repl.Mean) > 1e-9 {
+			t.Errorf("%s: mean %v vs %v", p.name, p.sweep.Mean, p.repl.Mean)
+		}
+		if relDiff(p.sweep.CI95, p.repl.HalfWidth) > 1e-6 {
+			t.Errorf("%s: ci %v vs %v", p.name, p.sweep.CI95, p.repl.HalfWidth)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestMetricAccumMatchesMeanCI pins the moment-based CI to the fixed
+// slice-based meanCI, including after an arbitrary shard split: merging
+// accumulators must lose nothing (the reason finished MeanCIs are never
+// merged — they can't satisfy this test).
+func TestMetricAccumMatchesMeanCI(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2.5, 6, 5.25, 3.5, 8.75, 9.5}
+	want := meanCI(vals)
+	for _, split := range []int{0, 1, 5, len(vals)} {
+		var a, b, merged metricAccum
+		for _, v := range vals[:split] {
+			a.observe(v)
+		}
+		for _, v := range vals[split:] {
+			b.observe(v)
+		}
+		merged.merge(&a)
+		merged.merge(&b)
+		got := merged.ci()
+		if got.N != want.N || relDiff(got.Mean, want.Mean) > 1e-12 ||
+			relDiff(got.HalfWidth, want.HalfWidth) > 1e-9 {
+			t.Errorf("split %d: moments CI %+v, meanCI %+v", split, got, want)
+		}
+	}
+	var empty metricAccum
+	if empty.ci() != (MeanCI{}) {
+		t.Error("empty accumulator should yield a zero MeanCI")
+	}
+	var constant metricAccum
+	for i := 0; i < 4; i++ {
+		constant.observe(7)
+	}
+	if ci := constant.ci(); ci.HalfWidth != 0 {
+		t.Errorf("constant samples half-width = %v, want 0", ci.HalfWidth)
+	}
+}
+
+// TestSweepSeedOverflowPartial: a sweep whose seed range runs past
+// MaxInt64 completes the valid prefix and reports each wrapping seed in
+// the joined error — the shard holding them is partially (or entirely)
+// invalid, and the rest of the sweep is unaffected.
+func TestSweepSeedOverflowPartial(t *testing.T) {
+	cfg := tinySweepConfig()
+	cfg.Seed = math.MaxInt64 - 6 // seeds +0..6 fit, +7..9 wrap
+	stats, err := RunSweep(SweepConfig{Config: cfg, Seeds: 10, ShardSize: 4})
+	if err == nil {
+		t.Fatal("overflowing sweep returned nil error")
+	}
+	if got := strings.Count(err.Error(), "overflows int64"); got != 3 {
+		t.Fatalf("error mentions %d overflow seeds, want 3:\n%v", got, err)
+	}
+	if stats.Completed != 7 || stats.Failed != 3 {
+		t.Fatalf("completed/failed = %d/%d, want 7/3", stats.Completed, stats.Failed)
+	}
+	if stats.Throughput.N != 7 {
+		t.Fatalf("partial stats N = %d, want 7", stats.Throughput.N)
+	}
+}
+
+// TestSweepReportIncludesVLRTTail pins the report surface the sweep
+// exists for: the p99.9 of per-run VLRT counts must be present (and
+// coherent) in all three renderings.
+func TestSweepReportIncludesVLRTTail(t *testing.T) {
+	stats, err := RunSweep(SweepConfig{Config: tinySweepConfig(), Seeds: 30})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if stats.VLRT.P999 < stats.VLRT.P50 || stats.VLRT.P999 > stats.VLRT.Max {
+		t.Fatalf("VLRT p99.9 = %v outside [p50=%v, max=%v]", stats.VLRT.P999, stats.VLRT.P50, stats.VLRT.Max)
+	}
+	csv := string(stats.CSV())
+	if !strings.Contains(csv, "p999") || !strings.Contains(csv, "vlrt_per_run") {
+		t.Fatalf("CSV missing the VLRT p99.9 column:\n%s", csv)
+	}
+	js, err := stats.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !strings.Contains(string(js), `"vlrtPerRun"`) || !strings.Contains(string(js), `"p999"`) {
+		t.Fatalf("JSON missing vlrtPerRun.p999:\n%s", js)
+	}
+	if !strings.Contains(stats.String(), "p99.9") {
+		t.Fatalf("text report missing p99.9 column:\n%s", stats)
+	}
+}

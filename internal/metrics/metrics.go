@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -24,6 +25,11 @@ type Recorder struct {
 	WarmUp time.Duration
 
 	requests []*workload.Request
+	// sorted caches the ascending response times so repeated quantile
+	// queries (p99/p99.9 per replication in sweeps) don't re-sort;
+	// invalidated by Record. Not safe for concurrent use, like the rest
+	// of the Recorder.
+	sorted []time.Duration
 }
 
 var _ workload.Sink = (*Recorder)(nil)
@@ -37,6 +43,7 @@ func (r *Recorder) Record(req *workload.Request) {
 		return
 	}
 	r.requests = append(r.requests, req)
+	r.sorted = nil
 }
 
 // Len returns the number of recorded requests.
@@ -77,28 +84,48 @@ func (r *Recorder) Mean() time.Duration {
 	return sum / time.Duration(len(r.requests))
 }
 
+// sortedResponseTimes returns the cached ascending response times,
+// rebuilding the cache after new records.
+func (r *Recorder) sortedResponseTimes() []time.Duration {
+	if r.sorted == nil && len(r.requests) > 0 {
+		r.sorted = r.ResponseTimes()
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+	}
+	return r.sorted
+}
+
+// NearestRank returns the 0-based index of the p-quantile of n ascending
+// samples under the nearest-rank definition: the smallest index i such
+// that (i+1)/n >= p, i.e. ceil(p*n)-1. The tiny relative slack absorbs
+// float error in p*n (0.07*100 is 7.000000000000001 in binary), which
+// would otherwise bump exact ranks up by one.
+func NearestRank(p float64, n int) int {
+	pn := p * float64(n)
+	idx := int(math.Ceil(pn-pn*1e-12)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
 // Percentile returns the p-quantile (0 < p <= 1) of response times using
-// the nearest-rank method.
+// the nearest-rank method (rank ceil(p*n)). The sorted order is cached
+// across calls and invalidated on Record.
 func (r *Recorder) Percentile(p float64) time.Duration {
 	if len(r.requests) == 0 {
 		return 0
 	}
-	rts := r.ResponseTimes()
-	sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
+	rts := r.sortedResponseTimes()
 	if p <= 0 {
 		return rts[0]
 	}
 	if p >= 1 {
 		return rts[len(rts)-1]
 	}
-	idx := int(p*float64(len(rts))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(rts) {
-		idx = len(rts) - 1
-	}
-	return rts[idx]
+	return rts[NearestRank(p, len(rts))]
 }
 
 // VLRTCount returns the number of recorded requests slower than the
@@ -210,11 +237,7 @@ func (r *Recorder) ByClass() []ClassStats {
 		}
 		cs.Mean = sum / time.Duration(len(reqs))
 		sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
-		idx := int(0.99*float64(len(rts))+0.5) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		cs.P99 = rts[idx]
+		cs.P99 = rts[NearestRank(0.99, len(rts))]
 		out = append(out, cs)
 	}
 	return out
@@ -238,8 +261,7 @@ func (r *Recorder) CDF(thresholds []time.Duration) []CDFPoint {
 		}
 		return out
 	}
-	rts := r.ResponseTimes()
-	sort.Slice(rts, func(i, j int) bool { return rts[i] < rts[j] })
+	rts := r.sortedResponseTimes()
 	for _, t := range thresholds {
 		idx := sort.Search(len(rts), func(i int) bool { return rts[i] > t })
 		out = append(out, CDFPoint{RT: t, Fraction: float64(idx) / float64(len(rts))})

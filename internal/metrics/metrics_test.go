@@ -71,11 +71,82 @@ func TestRecorderPercentile(t *testing.T) {
 		{0.99, 99 * time.Millisecond},
 		{1.00, 100 * time.Millisecond},
 		{0.00, time.Millisecond},
+		// Non-round ranks: nearest-rank is ceil(p*n), never round-half-up.
+		{0.001, time.Millisecond},
+		{0.105, 11 * time.Millisecond},
+		{0.211, 22 * time.Millisecond},
+		{0.999, 100 * time.Millisecond},
 	}
 	for _, tt := range tests {
 		if got := r.Percentile(tt.p); got != tt.want {
 			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
 		}
+	}
+}
+
+// TestRecorderPercentileNearestRank pins the nearest-rank definition on a
+// small sample where round-half-up visibly deviates: with n=10 values,
+// p=0.21 needs rank ceil(2.1)=3, but int(p*n+0.5) truncates to rank 2.
+func TestRecorderPercentileNearestRank(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 10; i++ {
+		r.Record(req(0, time.Duration(i)*time.Millisecond))
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.05, 1 * time.Millisecond},  // ceil(0.5) = 1
+		{0.21, 3 * time.Millisecond},  // ceil(2.1) = 3 (round-half-up said 2)
+		{0.25, 3 * time.Millisecond},  // ceil(2.5) = 3
+		{0.30, 3 * time.Millisecond},  // exact rank 3
+		{0.31, 4 * time.Millisecond},  // ceil(3.1) = 4
+		{0.99, 10 * time.Millisecond}, // ceil(9.9) = 10
+	}
+	for _, tt := range tests {
+		if got := r.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+// TestNearestRankFloatSlack guards the float-error slack: p*n values that
+// are mathematically integral but land a hair above in binary (0.07*100)
+// must not be bumped up a rank.
+func TestNearestRankFloatSlack(t *testing.T) {
+	tests := []struct {
+		p    float64
+		n    int
+		want int
+	}{
+		{0.07, 100, 6},  // 0.07*100 = 7.000000000000001 in float64
+		{0.29, 100, 28}, // 28.999999999999996 must still reach rank 29
+		{0.21, 10, 2},
+		{0.5, 100, 49},
+		{1, 50, 49},
+	}
+	for _, tt := range tests {
+		if got := NearestRank(tt.p, tt.n); got != tt.want {
+			t.Errorf("NearestRank(%v, %d) = %d, want %d", tt.p, tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestRecorderPercentileCacheInvalidation interleaves queries and records:
+// the cached sort must not serve stale answers after new samples arrive.
+func TestRecorderPercentileCacheInvalidation(t *testing.T) {
+	r := NewRecorder()
+	r.Record(req(0, 10*time.Millisecond))
+	if got := r.Percentile(1); got != 10*time.Millisecond {
+		t.Fatalf("Percentile(1) = %v, want 10ms", got)
+	}
+	r.Record(req(0, 30*time.Millisecond))
+	r.Record(req(0, 20*time.Millisecond))
+	if got := r.Percentile(1); got != 30*time.Millisecond {
+		t.Fatalf("Percentile(1) after more records = %v, want 30ms", got)
+	}
+	if got := r.Percentile(0.34); got != 20*time.Millisecond {
+		t.Fatalf("Percentile(0.34) = %v, want 20ms (rank ceil(1.02)=2)", got)
 	}
 }
 

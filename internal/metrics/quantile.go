@@ -105,14 +105,7 @@ func (q *P2Quantile) Value() float64 {
 		tmp := make([]float64, len(q.initial))
 		copy(tmp, q.initial)
 		sortFive(tmp)
-		idx := int(q.p*float64(len(tmp))+0.5) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(tmp) {
-			idx = len(tmp) - 1
-		}
-		return tmp[idx]
+		return tmp[NearestRank(q.p, len(tmp))]
 	}
 	return q.heights[2]
 }
