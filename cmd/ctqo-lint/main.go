@@ -1,7 +1,7 @@
 // Command ctqo-lint runs the repo's determinism analyzers — wallclock,
-// seededrand, maporder, nilsafe — over the given packages. It is the
-// mechanical enforcement of DESIGN.md's determinism contract and runs in
-// CI next to go vet.
+// seededrand, maporder, nilsafe, sharedmut, exhaustive, chanselect —
+// over the given packages. It is the mechanical enforcement of
+// DESIGN.md's determinism contract and runs in CI next to go vet.
 //
 // Usage:
 //
@@ -10,20 +10,33 @@
 //	ctqo-lint ./...                  # whole repo (the default)
 //	ctqo-lint -json ./internal/...   # machine-readable diagnostics
 //	ctqo-lint -maporder=false ./...  # disable one analyzer
+//	ctqo-lint -findings-exit=0 ./... # report findings but exit 0
 //
 // Each analyzer has a boolean flag named after it (default true). A
 // finding can be silenced in the source with a "//lint:allow <analyzer>
 // <reason>" comment on the flagged line or the line above it.
 //
-// Exit status: 0 when clean, 1 when any diagnostic was reported, 2 on
-// usage or load errors.
+// The requested packages' whole local dependency closure is analyzed, in
+// dependency order, so facts-based analyzers (sharedmut, exhaustive) see
+// the summaries their dependencies exported; findings are reported only
+// for the requested packages.
+//
+// -benchout FILE records the run's wall clock (load + analysis, all
+// analyzers) under the "lint" key of the keyed benchmark file FILE, in
+// the BENCH_parallel.json format.
+//
+// Exit status: 0 when clean, the -findings-exit value (default 1) when
+// any diagnostic was reported, 2 on usage or load errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"ctqosim/internal/benchrec"
 	"ctqosim/internal/lint"
 	"ctqosim/internal/lint/analysis"
 	"ctqosim/internal/lint/analyzers"
@@ -38,6 +51,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("ctqo-lint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	verbose := fs.Bool("v", false, "report packages as they are checked and any type errors")
+	findingsExit := fs.Int("findings-exit", 1, "exit status when findings are reported (0 makes findings non-fatal)")
+	benchOut := fs.String("benchout", "", "record load+analysis wall clock under the \"lint\" key of this keyed benchmark `file`")
 	all := analyzers.All()
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
@@ -74,27 +89,59 @@ func run(args []string) int {
 		return 2
 	}
 
-	var findings []lint.Finding
+	start := time.Now()
+	order, err := l.Closure(paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+		return 2
+	}
+	requested := make(map[string]bool, len(paths))
 	for _, path := range paths {
+		requested[path] = true
+	}
+	facts := analysis.NewStore()
+	files := 0
+	var findings []lint.Finding
+	for _, path := range order {
 		pkg, err := l.Load(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ctqo-lint: load %s: %v\n", path, err)
 			return 2
 		}
+		files += len(pkg.Files)
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "checking %s (%d files)\n", path, len(pkg.Files))
 			for _, terr := range pkg.TypeErrors {
 				fmt.Fprintf(os.Stderr, "  type error: %v\n", terr)
 			}
 		}
-		fs, err := lint.RunPackage(l, pkg, active, modDir)
+		fs, err := lint.RunPackage(l, pkg, active, modDir, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
 			return 2
 		}
-		findings = append(findings, fs...)
+		if requested[path] {
+			findings = append(findings, fs...)
+		}
 	}
 	lint.Sort(findings)
+	elapsed := time.Since(start)
+
+	if *benchOut != "" {
+		record := map[string]any{
+			"benchmark":     "lint",
+			"packages":      len(order),
+			"files":         files,
+			"analyzers":     len(active),
+			"findings":      len(findings),
+			"cpus":          runtime.NumCPU(),
+			"seconds_total": elapsed.Seconds(),
+		}
+		if err := benchrec.Update(*benchOut, "lint", record); err != nil {
+			fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
+			return 2
+		}
+	}
 
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
@@ -106,7 +153,7 @@ func run(args []string) int {
 		return 2
 	}
 	if len(findings) > 0 {
-		return 1
+		return *findingsExit
 	}
 	return 0
 }

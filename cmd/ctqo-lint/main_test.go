@@ -144,10 +144,66 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+func TestRunFindingsExitFlag(t *testing.T) {
+	dir := writeModule(t)
+	for _, tc := range []struct {
+		flag string
+		want int
+	}{
+		{"-findings-exit=3", 3},
+		{"-findings-exit=0", 0},
+	} {
+		var code int
+		out := captureStdout(t, func() {
+			inDir(t, dir, func() {
+				code = run([]string{tc.flag, "./..."})
+			})
+		})
+		if code != tc.want {
+			t.Errorf("run(%s) = %d, want %d; output:\n%s", tc.flag, code, tc.want, out)
+		}
+		if out == "" {
+			t.Errorf("run(%s) reported nothing; findings must still be printed", tc.flag)
+		}
+	}
+}
+
+func TestRunBenchout(t *testing.T) {
+	dir := writeModule(t)
+	benchFile := filepath.Join(t.TempDir(), "bench.json")
+	captureStdout(t, func() {
+		inDir(t, dir, func() {
+			run([]string{"-benchout", benchFile, "./..."})
+		})
+	})
+	data, err := os.ReadFile(benchFile)
+	if err != nil {
+		t.Fatalf("benchout file not written: %v", err)
+	}
+	var entries map[string]map[string]any
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("benchout is not a keyed JSON object: %v\n%s", err, data)
+	}
+	rec, ok := entries["lint"]
+	if !ok {
+		t.Fatalf("benchout has no \"lint\" key:\n%s", data)
+	}
+	for _, field := range []string{"benchmark", "packages", "files", "analyzers", "findings", "cpus", "seconds_total"} {
+		if _, ok := rec[field]; !ok {
+			t.Errorf("lint record missing %q:\n%s", field, data)
+		}
+	}
+	if got := rec["findings"]; got != float64(1) {
+		t.Errorf("lint record findings = %v, want 1", got)
+	}
+}
+
 // TestRunRepoIsClean pins the audited state of this repository: the
-// linter over the real module must exit 0. A regression that reintroduces
-// wall-clock reads or unseeded randomness in sim-time code fails here,
-// not just in CI.
+// linter — all seven analyzers, including the facts-propagating
+// sharedmut and the exhaustive and chanselect checks added with it —
+// over the real module must exit 0. A regression that reintroduces
+// wall-clock reads, unseeded randomness, a shared-Config write or a
+// member-dropping enum switch fails here, not just in CI.
 func TestRunRepoIsClean(t *testing.T) {
 	wd, err := os.Getwd()
 	if err != nil {

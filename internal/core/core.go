@@ -197,6 +197,7 @@ type Config struct {
 	// RUBBoS 7s.
 	ThinkTime time.Duration
 	// Mix overrides the interaction mix; nil uses workload.DefaultMix.
+	//lint:sharedptr
 	Mix *workload.Mix
 	// Burst modulates the steady population's think times.
 	Burst *workload.BurstSpec
@@ -210,10 +211,13 @@ type Config struct {
 	SampleInterval time.Duration
 
 	// Consolidation, if non-nil, runs the VM-consolidation experiment.
+	//lint:sharedptr
 	Consolidation *ConsolidationSpec
 	// LogFlush, if non-nil, injects the I/O millibottleneck.
+	//lint:sharedptr
 	LogFlush *LogFlushSpec
 	// GCPause, if non-nil, injects JVM garbage-collection pauses.
+	//lint:sharedptr
 	GCPause *GCPauseSpec
 
 	// AppCores scales the app tier VM (Fig. 5 uses 4); zero means 1.
@@ -228,6 +232,7 @@ type Config struct {
 	// behaviour on the transport and its default backlog on every
 	// synchronous tier (simnet.RHEL6 is the paper's testbed; the modern
 	// profile is the bufferbloat ablation).
+	//lint:sharedptr
 	Kernel *simnet.KernelProfile
 	// RTO overrides the retransmission timeout; zero keeps the profile's
 	// (or the default 3s).
@@ -255,7 +260,9 @@ type Config struct {
 	SpanReservoir int
 
 	// Tweak, if non-nil, may adjust the steady system spec before build —
-	// the escape hatch for ablations.
+	// the escape hatch for ablations. It runs on the worker goroutine and
+	// may mutate only its per-run argument, never captured state.
+	//lint:nocapturewrite
 	Tweak func(*ntier.SystemSpec)
 }
 

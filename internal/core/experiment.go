@@ -71,6 +71,8 @@ func (e *Experiment) Run() (*Result, error) {
 			spec.Web.Node = sharedNodeName
 		case TierDB:
 			spec.DB.Node = sharedNodeName
+		case TierApp:
+			fallthrough
 		default:
 			spec.App.Node = sharedNodeName
 		}
@@ -175,6 +177,8 @@ func (e *Experiment) Run() (*Result, error) {
 			vm = steady.WebVM
 		case TierApp:
 			vm = steady.AppVM
+		case TierDB:
+			// vm already defaults to the DB tier above.
 		}
 		fault.NewLogFlush(sim, vm, lf.Interval, lf.Duration).Start()
 	}
@@ -186,6 +190,8 @@ func (e *Experiment) Run() (*Result, error) {
 		switch gc.Tier {
 		case TierWeb:
 			vm, srv = steady.WebVM, steady.Web
+		case TierApp:
+			// vm, srv already default to the app tier above.
 		case TierDB:
 			vm, srv = steady.DBVM, steady.DB
 		}

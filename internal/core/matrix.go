@@ -148,6 +148,8 @@ func overallDirection(res *Result) trace.Direction {
 			down = true
 		case trace.DirectionBoth:
 			up, down = true, true
+		case trace.DirectionNone:
+			// An undirected episode contributes to neither side.
 		}
 	}
 	switch {

@@ -14,6 +14,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // Analyzer describes one static check.
@@ -23,6 +24,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph help text; its first line is the summary.
 	Doc string
+	// FactTypes lists the fact types the analyzer exports and imports,
+	// one (typed, possibly nil) pointer value per type. An analyzer may
+	// only export facts whose type appears here.
+	FactTypes []Fact
 	// Run applies the check to a single package and reports diagnostics
 	// through pass.Report. The returned value is ignored by this driver
 	// (kept in the signature for go/analysis compatibility).
@@ -43,8 +48,92 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's results for Files.
 	TypesInfo *types.Info
+	// Facts is the run-wide fact store. The driver passes the same store
+	// to every pass of a run, and analyzes packages in dependency order,
+	// so facts exported while analyzing an import are visible to its
+	// dependents. Nil is tolerated: a store is created lazily, scoped to
+	// this pass (same-package facts still work).
+	Facts *Store
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+}
+
+// Fact is a datum an analyzer attaches to a types.Object while analyzing
+// the package that declares it, and reads back when analyzing dependent
+// packages — the cross-package channel of the facts mechanism, modeled on
+// golang.org/x/tools/go/analysis facts. A fact type must be a pointer to
+// a struct and carry the AFact marker method. Facts are namespaced per
+// analyzer: two analyzers' facts never collide, even on the same object.
+//
+// Object identity is what threads facts across packages: the driver loads
+// packages in dependency order and reuses each loaded package as the
+// type-checker's import, so the *types.Func an analyzer exported a fact
+// on in package a is the same object a dependent package b resolves
+// through its own types.Info.
+type Fact interface{ AFact() }
+
+// Store holds the facts exported during one lint run.
+type Store struct {
+	m map[storeKey]Fact
+}
+
+// storeKey namespaces a fact by analyzer, annotated object and fact type.
+type storeKey struct {
+	analyzer string
+	obj      types.Object
+	typ      reflect.Type
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store { return &Store{m: make(map[storeKey]Fact)} }
+
+// factType validates that fact is a non-nil pointer to a struct and
+// returns its reflect type.
+func factType(fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("fact %T is not a pointer", fact))
+	}
+	return t
+}
+
+// key builds the store key for this pass's analyzer, checking that the
+// fact type was declared in the analyzer's FactTypes.
+func (p *Pass) key(obj types.Object, fact Fact) storeKey {
+	if obj == nil {
+		panic(fmt.Sprintf("%s: fact %T on nil object", p.Analyzer.Name, fact))
+	}
+	t := factType(fact)
+	for _, ft := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(ft) == t {
+			return storeKey{analyzer: p.Analyzer.Name, obj: obj, typ: t}
+		}
+	}
+	panic(fmt.Sprintf("%s: fact type %v not declared in FactTypes", p.Analyzer.Name, t))
+}
+
+// ExportObjectFact attaches fact to obj for later passes of the same
+// analyzer. Exporting twice overwrites: the last fact wins.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil {
+		p.Facts = NewStore()
+	}
+	p.Facts.m[p.key(obj, fact)] = fact
+}
+
+// ImportObjectFact copies the fact of fact's type previously exported on
+// obj (by this analyzer, in this package or a dependency) into *fact and
+// reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	stored, ok := p.Facts.m[p.key(obj, fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct{ N int }
+
+func (*testFact) AFact() {}
+
+type otherFact struct{ N int }
+
+func (*otherFact) AFact() {}
+
+func newTestPass(name string, store *Store) *Pass {
+	return &Pass{
+		Analyzer: &Analyzer{
+			Name:      name,
+			FactTypes: []Fact{new(testFact), new(otherFact)},
+		},
+		Facts: store,
+	}
+}
+
+func testObj(name string) types.Object {
+	pkg := types.NewPackage("example.com/p", "p")
+	return types.NewVar(token.NoPos, pkg, name, types.Typ[types.Int])
+}
+
+func TestStoreExportImportRoundTrip(t *testing.T) {
+	store := NewStore()
+	pass := newTestPass("a", store)
+	obj := testObj("x")
+
+	var missing testFact
+	if pass.ImportObjectFact(obj, &missing) {
+		t.Error("ImportObjectFact found a fact before any export")
+	}
+
+	pass.ExportObjectFact(obj, &testFact{N: 7})
+	var got testFact
+	if !pass.ImportObjectFact(obj, &got) {
+		t.Fatal("ImportObjectFact found nothing after export")
+	}
+	if got.N != 7 {
+		t.Errorf("imported fact N = %d, want 7", got.N)
+	}
+
+	// Import copies: mutating the copy must not affect the stored fact.
+	got.N = 99
+	var again testFact
+	pass.ImportObjectFact(obj, &again)
+	if again.N != 7 {
+		t.Errorf("stored fact mutated through the imported copy: N = %d, want 7", again.N)
+	}
+
+	// Re-export overwrites.
+	pass.ExportObjectFact(obj, &testFact{N: 8})
+	pass.ImportObjectFact(obj, &again)
+	if again.N != 8 {
+		t.Errorf("re-exported fact N = %d, want 8", again.N)
+	}
+}
+
+func TestStoreNamespacing(t *testing.T) {
+	store := NewStore()
+	obj := testObj("x")
+	a := newTestPass("a", store)
+	b := newTestPass("b", store)
+
+	a.ExportObjectFact(obj, &testFact{N: 1})
+
+	// Same object, different analyzer: invisible.
+	var got testFact
+	if b.ImportObjectFact(obj, &got) {
+		t.Error("analyzer b sees analyzer a's fact")
+	}
+	// Same object and analyzer, different fact type: invisible.
+	var other otherFact
+	if a.ImportObjectFact(obj, &other) {
+		t.Error("testFact visible through an otherFact import")
+	}
+	// Different object: invisible.
+	if a.ImportObjectFact(testObj("y"), &got) {
+		t.Error("fact leaked to a different object")
+	}
+}
+
+func TestStoreSharedAcrossPasses(t *testing.T) {
+	// The cross-package mechanism: two passes of the same analyzer share
+	// one store, so a fact exported while analyzing a dependency is
+	// importable from the dependent package's pass.
+	store := NewStore()
+	obj := testObj("x")
+	dep := newTestPass("a", store)
+	dep.ExportObjectFact(obj, &testFact{N: 3})
+
+	dependent := newTestPass("a", store)
+	var got testFact
+	if !dependent.ImportObjectFact(obj, &got) || got.N != 3 {
+		t.Errorf("fact did not cross passes: got %v, %d", got, got.N)
+	}
+}
+
+func TestExportUndeclaredFactTypePanics(t *testing.T) {
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "a"}, // no FactTypes
+		Facts:    NewStore(),
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exporting an undeclared fact type did not panic")
+		}
+	}()
+	pass.ExportObjectFact(testObj("x"), &testFact{})
+}
+
+func TestNilFactsImportIsFalse(t *testing.T) {
+	pass := newTestPass("a", nil)
+	var got testFact
+	if pass.ImportObjectFact(testObj("x"), &got) {
+		t.Error("ImportObjectFact on a nil store returned true")
+	}
+	// Export lazily creates a pass-local store rather than panicking.
+	obj := testObj("y")
+	pass.ExportObjectFact(obj, &testFact{N: 2})
+	if !pass.ImportObjectFact(obj, &got) || got.N != 2 {
+		t.Error("lazily-created store did not round-trip the fact")
+	}
+}

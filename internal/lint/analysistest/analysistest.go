@@ -74,25 +74,55 @@ func parseWants(t *testing.T, l *loader.Loader, file *ast.File) []expectation {
 	return out
 }
 
-// Run loads each fixture package from testdata/src/<path>, applies the
-// analyzer, and reports mismatches between diagnostics and expectations
-// through t.
+// analyzeWithDeps loads the fixture package at path together with its
+// fixture-local dependency closure, runs the analyzer over every package
+// of the closure in dependency order — sharing one fact store, so facts
+// exported by dependencies are visible, exactly as in a real lint run —
+// and returns the subject package with the analyzer's findings on it
+// (diagnostics in dependency packages are discarded). A nil package
+// means loading failed; errors are reported through t.
+func analyzeWithDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, path string) (*loader.Loader, *loader.Package, []lint.Finding) {
+	t.Helper()
+	l := loader.New("", "", srcRoot)
+	order, err := l.Closure([]string{path})
+	if err != nil {
+		t.Errorf("closure %s: %v", path, err)
+		return l, nil, nil
+	}
+	facts := analysis.NewStore()
+	var subject *loader.Package
+	var findings []lint.Finding
+	for _, p := range order {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Errorf("load %s: %v", p, err)
+			return l, nil, nil
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", p, terr)
+		}
+		fs, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "", facts)
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, p, err)
+			return l, nil, nil
+		}
+		if p == path {
+			subject, findings = pkg, fs
+		}
+	}
+	return l, subject, findings
+}
+
+// Run loads each fixture package from testdata/src/<path> (with its
+// fixture-local dependency closure, for analyzers that rely on facts),
+// applies the analyzer, and reports mismatches between diagnostics and
+// expectations through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	srcRoot := testdata + "/src"
 	for _, path := range paths {
-		l := loader.New("", "", srcRoot)
-		pkg, err := l.Load(path)
-		if err != nil {
-			t.Errorf("load %s: %v", path, err)
-			continue
-		}
-		for _, terr := range pkg.TypeErrors {
-			t.Errorf("%s: type error: %v", path, terr)
-		}
-		findings, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "")
-		if err != nil {
-			t.Errorf("run %s on %s: %v", a.Name, path, err)
+		l, pkg, findings := analyzeWithDeps(t, srcRoot, a, path)
+		if pkg == nil {
 			continue
 		}
 		lint.Sort(findings)
@@ -136,15 +166,8 @@ func claim(wants []expectation, f lint.Finding) bool {
 func RunExpectClean(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	for _, path := range paths {
-		l := loader.New("", "", testdata+"/src")
-		pkg, err := l.Load(path)
-		if err != nil {
-			t.Errorf("load %s: %v", path, err)
-			continue
-		}
-		findings, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "")
-		if err != nil {
-			t.Errorf("run %s on %s: %v", a.Name, path, err)
+		_, pkg, findings := analyzeWithDeps(t, testdata+"/src", a, path)
+		if pkg == nil {
 			continue
 		}
 		for _, f := range findings {

@@ -1,7 +1,11 @@
 // Package analyzers holds the ctqo-lint checks that keep the simulator
 // reproducible: no wall-clock reads in simulated-time packages, no global
 // (or time-seeded) math/rand, no order-dependent map iteration feeding
-// reports, and nil-safe tracer methods so disabled tracing stays free.
+// reports, nil-safe tracer methods so disabled tracing stays free, no
+// writes through shared Config pointer fields or captured state in
+// worker-run closures (sharedmut, a cross-package facts analysis), no
+// enum switches that silently drop members (exhaustive), and no
+// multi-case selects in sim-time packages (chanselect).
 //
 // The checks encode the repo's determinism contract (see DESIGN.md):
 // the paper's CTQO results are only reproducible if a fixed seed replays
@@ -19,7 +23,10 @@ import (
 
 // All returns the full suite in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Wallclock, Seededrand, Maporder, Nilsafe}
+	return []*analysis.Analyzer{
+		Wallclock, Seededrand, Maporder, Nilsafe,
+		Sharedmut, Exhaustive, Chanselect,
+	}
 }
 
 // funcUse resolves an identifier to the package-level function it uses,

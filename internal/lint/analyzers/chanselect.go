@@ -1,0 +1,50 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// Chanselect flags multi-case select statements in sim-time packages
+// (the same set wallclock guards). When two channel operations are ready
+// in the same instant, the runtime chooses between them with an
+// unseeded, uncontrollable random draw — a determinism leak the
+// DES replays cannot reproduce. Sim-time code must drain channels in an
+// explicit order (sequential receives, or a single-case select with an
+// optional default for non-blocking polls). Real-network harness code
+// (internal/live) is exempt, as with wallclock. Deliberate exceptions
+// carry //lint:allow chanselect.
+var Chanselect = &analysis.Analyzer{
+	Name: "chanselect",
+	Doc: "forbid select statements with two or more channel cases in " +
+		"sim-time packages; runtime select order is unseeded randomness",
+	Run: runChanselect,
+}
+
+func runChanselect(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !inSimTime(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			comm := 0
+			for _, stmt := range sel.Body.List {
+				if cc, ok := stmt.(*ast.CommClause); ok && cc.Comm != nil {
+					comm++
+				}
+			}
+			if comm >= 2 {
+				pass.Reportf(sel.Pos(),
+					"select with %d channel cases in sim-time package %s: runtime select order is unseeded randomness; drain channels in an explicit order",
+					comm, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+	"ctqosim/internal/lint/analyzers"
+)
+
+func TestChanselect(t *testing.T) {
+	// Multi-case selects inside a sim-time package are flagged; single
+	// case with default and //lint:allow are not.
+	analysistest.Run(t, "testdata", analyzers.Chanselect, "ctqosim/internal/simnet")
+	// The live harness is outside the sim-time set: identical code is
+	// allowed there.
+	analysistest.RunExpectClean(t, "testdata", analyzers.Chanselect, "ctqosim/internal/live")
+}

@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+	"ctqosim/internal/lint/analyzers"
+)
+
+func TestExhaustive(t *testing.T) {
+	// Same-package switches: every declared value counts, a default
+	// clause does not exempt, aliases cover their value, non-constant
+	// cases opt the switch out, //lint:allow silences.
+	analysistest.Run(t, "testdata", analyzers.Exhaustive, "exhaustive/color")
+	// Cross-package switches see the enum through its exported fact and
+	// are only held to exported values.
+	analysistest.Run(t, "testdata", analyzers.Exhaustive, "exhaustive/use")
+}

@@ -1,0 +1,12 @@
+package live
+
+// merge is identical to the simnet fixture but lives in the real-network
+// harness, outside the sim-time set: not flagged.
+func merge(a, b <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

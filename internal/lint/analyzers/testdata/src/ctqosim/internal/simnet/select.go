@@ -1,0 +1,34 @@
+// Package simnet stands in for the repo's sim-time transport package:
+// the import path puts it inside the sim-time set chanselect guards.
+package simnet
+
+// merge drains two channels with runtime-random choice: flagged.
+func merge(a, b <-chan int) int {
+	select { // want `select with 2 channel cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// poll is a single-case non-blocking receive: explicit order, fine.
+func poll(a <-chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// mux is a deliberate exception.
+func mux(a, b <-chan int) int {
+	//lint:allow chanselect fixture demonstrates the escape hatch
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

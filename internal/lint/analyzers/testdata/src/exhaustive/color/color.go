@@ -1,0 +1,57 @@
+// Package color declares the fixture enum: a named basic type with
+// several same-package constants, one unexported, one an alias.
+package color
+
+// Color is the fixture enum.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+	gray // unexported: cross-package switches are not held to it
+)
+
+// Crimson aliases Red's value: mentioning either covers it.
+const Crimson = Red
+
+// name is the same-package violation: Blue and gray are missing, and the
+// default clause does not exempt the switch.
+func name(c Color) string {
+	switch c { // want `switch over Color is missing cases for Blue, gray`
+	case Red, Green:
+		return "warm"
+	default:
+		return "other"
+	}
+}
+
+// full covers every value — Red's via the Crimson alias.
+func full(c Color) int {
+	switch c {
+	case Crimson:
+		return 0
+	case Green, Blue, gray:
+		return 1
+	}
+	return 2
+}
+
+// nonConst is not an enumeration switch: a case is not constant.
+func nonConst(c, x Color) int {
+	switch c {
+	case x:
+		return 1
+	}
+	return 0
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(c Color) int {
+	//lint:allow exhaustive deliberate fallback
+	switch c {
+	case Red:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,24 @@
+// Package use switches over an imported enum: the fact exported by the
+// color package decides which values the switches must mention.
+package use
+
+import "exhaustive/color"
+
+// describe drops Green: flagged through the imported fact.
+func describe(c color.Color) string {
+	switch c { // want `switch over Color is missing cases for Green`
+	case color.Red, color.Blue:
+		return "rb"
+	default:
+		return "?"
+	}
+}
+
+// ok names every exported value; unexported gray is not required here.
+func ok(c color.Color) string {
+	switch c {
+	case color.Red, color.Green, color.Blue:
+		return "all"
+	}
+	return ""
+}

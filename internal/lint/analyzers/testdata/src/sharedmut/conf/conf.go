@@ -1,0 +1,35 @@
+// Package conf mirrors core.Config's sharing contract: pointer fields
+// shared across Runner workers, and a closure field that runs on the
+// worker goroutine.
+package conf
+
+// Spec is the per-run system description a Tweak may mutate freely.
+type Spec struct {
+	Threads int
+}
+
+// Mix is the shared interaction mix.
+type Mix struct {
+	Total   float64
+	Weights []float64
+}
+
+// Add mutates its receiver; holders of a shared Mix must not call it.
+func (m *Mix) Add(w float64) {
+	m.Total += w
+}
+
+// Config is the fixture's experiment description.
+type Config struct {
+	Name string
+	//lint:sharedptr
+	Mix *Mix
+	//lint:nocapturewrite
+	Tweak func(*Spec)
+}
+
+// Reset is the same-package violation: the marked field is written right
+// next to its declaration.
+func Reset(c *Config) {
+	c.Mix.Total = 0 // want `write through shared pointer field Mix`
+}

@@ -1,0 +1,14 @@
+// Package deep is the bottom of the fixture call chain: the function
+// that actually writes through its argument, three packages below the
+// run site that hands it shared state.
+package deep
+
+import "sharedmut/conf"
+
+// Zero clears a mix in place.
+func Zero(m *conf.Mix) {
+	m.Total = 0
+	for i := range m.Weights {
+		m.Weights[i] = 0
+	}
+}

@@ -1,0 +1,13 @@
+// Package leaf forwards to deep; its mutation summary is inherited from
+// deep.Zero's exported fact, not from any write of its own.
+package leaf
+
+import (
+	"sharedmut/conf"
+	"sharedmut/deep"
+)
+
+// Bump clears a mix via deep.
+func Bump(m *conf.Mix) {
+	deep.Zero(m)
+}

@@ -1,0 +1,13 @@
+// Package mid forwards to leaf: one more hop for the mutation fact to
+// propagate through before it reaches the run site.
+package mid
+
+import (
+	"sharedmut/conf"
+	"sharedmut/leaf"
+)
+
+// Tune adjusts a mix via leaf.
+func Tune(m *conf.Mix) {
+	leaf.Bump(m)
+}

@@ -40,6 +40,24 @@ func (f Finding) String() string {
 // line directly above it, silences those analyzers for that line.
 const allowDirective = "//lint:allow"
 
+// parseAllowNames parses one comment's text as an allow directive and
+// returns the analyzer names it silences, or nil when the comment is not
+// a well-formed directive: the prefix must be followed by a space or tab
+// (or end the comment, which silences nothing), and the first field is
+// the comma-separated name list — everything after it is free-form
+// justification.
+func parseAllowNames(text string) []string {
+	rest, ok := strings.CutPrefix(text, allowDirective)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	return strings.Split(fields[0], ",")
+}
+
 // allowedLines maps file line numbers to the analyzer names allowed on
 // them (and on the following line).
 func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
@@ -47,12 +65,8 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, allowDirective)
-				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				parsed := parseAllowNames(c.Text)
+				if parsed == nil {
 					continue
 				}
 				pos := fset.Position(c.Pos())
@@ -66,7 +80,7 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 					names = make(map[string]bool)
 					byLine[pos.Line] = names
 				}
-				for _, name := range strings.Split(fields[0], ",") {
+				for _, name := range parsed {
 					names[name] = true
 				}
 			}
@@ -92,8 +106,11 @@ func suppressed(allowed map[string]map[int]map[string]bool, pos token.Position, 
 
 // RunPackage applies the analyzers to one loaded package and returns the
 // surviving findings, unsorted. Paths are reported relative to relDir
-// when possible.
-func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Analyzer, relDir string) ([]Finding, error) {
+// when possible. facts is the run-wide fact store; pass the same store
+// for every package of a run (in loader.Closure order) so facts exported
+// by dependency packages are visible here. Nil is accepted for runs that
+// need no cross-package facts.
+func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Analyzer, relDir string, facts *analysis.Store) ([]Finding, error) {
 	allowed := allowedLines(l.Fset, pkg.Files)
 	var out []Finding
 	for _, a := range analyzers {
@@ -103,6 +120,7 @@ func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Ana
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
 			pos := l.Fset.Position(d.Pos)
@@ -130,20 +148,34 @@ func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Ana
 	return out, nil
 }
 
-// Run loads every package named by paths and applies the analyzers,
-// returning findings sorted by position for deterministic output.
+// Run applies the analyzers to every package named by paths and returns
+// findings sorted by position for deterministic output. The whole local
+// dependency closure of paths is analyzed — in dependency order, sharing
+// one fact store, so facts propagate across package boundaries — but
+// only findings in the requested packages are reported.
 func Run(l *loader.Loader, paths []string, analyzers []*analysis.Analyzer, relDir string) ([]Finding, error) {
-	var out []Finding
+	order, err := l.Closure(paths)
+	if err != nil {
+		return nil, err
+	}
+	requested := make(map[string]bool, len(paths))
 	for _, path := range paths {
+		requested[path] = true
+	}
+	facts := analysis.NewStore()
+	var out []Finding
+	for _, path := range order {
 		pkg, err := l.Load(path)
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", path, err)
 		}
-		fs, err := RunPackage(l, pkg, analyzers, relDir)
+		fs, err := RunPackage(l, pkg, analyzers, relDir, facts)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, fs...)
+		if requested[path] {
+			out = append(out, fs...)
+		}
 	}
 	Sort(out)
 	return out, nil

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSortOrder pins the finding order contract: file, then line, then
+// column, then analyzer, then message. Deterministic ordering is what
+// makes -json output byte-stable across runs and machines.
+func TestSortOrder(t *testing.T) {
+	in := []Finding{
+		{Analyzer: "b", File: "b.go", Line: 1, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 1, Col: 2, Message: "m"},
+		{Analyzer: "b", File: "a.go", Line: 1, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 1, Col: 1, Message: "n"},
+		{Analyzer: "a", File: "a.go", Line: 1, Col: 1, Message: "m"},
+	}
+	want := []Finding{
+		{Analyzer: "a", File: "a.go", Line: 1, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 1, Col: 1, Message: "n"},
+		{Analyzer: "b", File: "a.go", Line: 1, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 1, Col: 2, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 1, Message: "m"},
+		{Analyzer: "b", File: "b.go", Line: 1, Col: 1, Message: "m"},
+	}
+	Sort(in)
+	for i := range want {
+		if in[i] != want[i] {
+			t.Fatalf("Sort order mismatch at %d:\n got %v\nwant %v", i, in[i], want[i])
+		}
+	}
+}
+
+// TestWriteJSONByteStable pins the exact bytes of the JSON rendering:
+// CI diffs and golden files depend on them.
+func TestWriteJSONByteStable(t *testing.T) {
+	var empty bytes.Buffer
+	if err := WriteJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.String(); got != "[]\n" {
+		t.Errorf("WriteJSON(nil) = %q, want %q (empty array, not null)", got, "[]\n")
+	}
+
+	fs := []Finding{{Analyzer: "wallclock", File: "a.go", Line: 3, Col: 7, Message: "no"}}
+	var first, second bytes.Buffer
+	if err := WriteJSON(&first, fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&second, fs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("WriteJSON is not byte-stable across calls")
+	}
+	want := `[
+  {
+    "analyzer": "wallclock",
+    "file": "a.go",
+    "line": 3,
+    "col": 7,
+    "message": "no"
+  }
+]
+`
+	if got := first.String(); got != want {
+		t.Errorf("WriteJSON rendering changed:\n got %q\nwant %q", got, want)
+	}
+}

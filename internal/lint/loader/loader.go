@@ -107,30 +107,92 @@ func FindModule(dir string) (modDir, modPath string, err error) {
 
 // dir resolves an import path to a source directory.
 func (l *Loader) dir(path string) (string, error) {
-	if l.modPath != "" {
-		if path == l.modPath {
-			return l.modDir, nil
-		}
-		if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
-			return filepath.Join(l.modDir, filepath.FromSlash(rest)), nil
-		}
+	if d := l.localDir(path); d != "" {
+		return d, nil
 	}
-	try := make([]string, 0, 3)
-	if l.srcRoot != "" {
-		try = append(try, filepath.Join(l.srcRoot, filepath.FromSlash(path)))
-	}
-	try = append(try,
+	for _, d := range []string{
 		filepath.Join(l.goroot, "src", filepath.FromSlash(path)),
 		// GOROOT vendoring: std packages import x/ repos by their
 		// canonical path; the sources live under src/vendor.
 		filepath.Join(l.goroot, "src", "vendor", filepath.FromSlash(path)),
-	)
-	for _, d := range try {
+	} {
 		if st, err := os.Stat(d); err == nil && st.IsDir() {
 			return d, nil
 		}
 	}
 	return "", fmt.Errorf("cannot resolve import %q", path)
+}
+
+// localDir resolves an import path inside the module or the extra source
+// root, or returns "" when the path lives elsewhere (GOROOT). "Local"
+// packages are the ones a lint run analyzes as subjects — and therefore
+// the only ones that can carry analyzer facts.
+func (l *Loader) localDir(path string) string {
+	if l.modPath != "" {
+		if path == l.modPath {
+			return l.modDir
+		}
+		if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+			return filepath.Join(l.modDir, filepath.FromSlash(rest))
+		}
+	}
+	if l.srcRoot != "" {
+		d := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d
+		}
+	}
+	return ""
+}
+
+// Closure expands paths to their dependency closure restricted to local
+// packages (module or srcRoot — GOROOT imports are resolved by the type
+// checker but never analyzed) and returns it in dependency order: every
+// package appears after all of its in-closure imports. The order is
+// deterministic — imports are visited sorted — and is the order a facts-
+// propagating driver must Load and analyze packages in, so that facts
+// exported while analyzing an import are in place before its dependents
+// run, and so that each subject's type-checked form is the one dependents
+// import (object identity is what keys the fact store).
+func (l *Loader) Closure(paths []string) ([]string, error) {
+	const visiting, done = 1, 2
+	state := make(map[string]int)
+	var out []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %q", path)
+		}
+		state[path] = visiting
+		if dir := l.localDir(path); dir != "" {
+			bp, err := l.ctx.ImportDir(dir, 0)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			imports := append([]string(nil), bp.Imports...)
+			sort.Strings(imports)
+			for _, imp := range imports {
+				if imp == "C" || imp == "unsafe" || l.localDir(imp) == "" {
+					continue
+				}
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		out = append(out, path)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // parseDir parses the build-selected non-test Go files of dir.
@@ -227,6 +289,13 @@ func (l *Loader) Load(path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Files: files, Info: info}
 	conf := l.typesConfig(&pkg.TypeErrors)
 	pkg.Types, _ = conf.Check(path, l.Fset, files, info)
+	// Register the fully loaded package as the canonical import, so
+	// packages loaded after this one resolve its objects to the very
+	// instances analyzers attached facts to (and so each package in a
+	// Closure-ordered run is type-checked exactly once).
+	if pkg.Types != nil {
+		l.cache[path] = pkg.Types
+	}
 	return pkg, nil
 }
 

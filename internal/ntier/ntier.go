@@ -202,6 +202,8 @@ func (c *Cluster) buildServer(sysName string, t TierSpec, vm *cpu.VM, tr *simnet
 			LiteQDepth:        t.LiteQDepth,
 			OverheadPerThread: t.OverheadPerThread,
 		})
+	case Sync:
+		fallthrough
 	default:
 		return server.NewSync(c.sim, vm, tr, plan, server.SyncConfig{
 			Name:              name,

@@ -146,6 +146,8 @@ func Spec(sysName string, level NX) SystemSpec {
 		spec.Web, spec.App, spec.DB = nginxTier(), xtomcatTier(), mysqlTier()
 	case NX3:
 		spec.Web, spec.App, spec.DB = nginxTier(), xtomcatTier(), xmysqlTier()
+	case NX0:
+		fallthrough
 	default:
 		spec.Web, spec.App, spec.DB = apacheTier(), tomcatTier(), mysqlTier()
 		spec.DBConnPool = JDBCPoolSize

@@ -257,6 +257,8 @@ func (c *Chart) drawSeries(b *strings.Builder, xOf, yOf func(float64) float64, p
 		switch kind {
 		case Bars:
 			c.drawBars(b, s, color, xOf, yOf, plotW)
+		case Lines:
+			fallthrough
 		default:
 			c.drawLine(b, s, color, xOf, yOf)
 		}

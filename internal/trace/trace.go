@@ -210,6 +210,8 @@ func (d Direction) String() string {
 		return "downstream CTQO"
 	case DirectionBoth:
 		return "upstream+downstream CTQO"
+	case DirectionNone:
+		fallthrough
 	default:
 		return "no CTQO"
 	}
