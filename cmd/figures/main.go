@@ -11,6 +11,12 @@
 // Usage:
 //
 //	figures [-out out] [-fig 3] [-quick] [-parallel N] [-benchout file]
+//	        [-simstats] [-cpuprofile file] [-memprofile file]
+//
+// -simstats profiles the DES kernel of each figure's run and prints the
+// events/second to stdout only — never into summary.txt, whose bytes
+// must stay identical across pool sizes. -cpuprofile/-memprofile write
+// pprof profiles for the whole regeneration.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"ctqosim/internal/benchrec"
 	"ctqosim/internal/core"
+	"ctqosim/internal/profiling"
 )
 
 func main() {
@@ -52,24 +59,40 @@ func run(args []string) error {
 		"simulation worker pool size; 0 = GOMAXPROCS, 1 = serial (output is byte-identical either way)")
 	benchout := fs.String("benchout", "",
 		"run the regeneration twice (serial, then -parallel) and record the wall-clock comparison as JSON in this file")
+	simstats := fs.Bool("simstats", false,
+		"profile the DES kernel per figure and print events/second (stdout only; summary.txt bytes are unchanged)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU pprof profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap pprof profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *benchout != "" {
-		return benchParallel(*benchout, *outDir, *only, *quick, *parallel)
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
 	}
-	return regenerate(*outDir, *only, *quick, *parallel)
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: profiling:", err)
+		}
+	}()
+	if *benchout != "" {
+		return benchParallel(*benchout, *outDir, *only, *quick, *parallel, *simstats)
+	}
+	return regenerate(*outDir, *only, *quick, *parallel, *simstats)
 }
 
 // regenerate runs the selected figures on a pool of `workers` and writes
 // CSVs, SVGs and the summary report. All simulation happens on the pool;
 // files and report lines are emitted in fixed figure order afterwards.
-func regenerate(outDir, only string, quick bool, workers int) error {
+// With simstats, each run self-profiles its DES kernel; that report goes
+// to stdout only, so every generated file stays byte-identical.
+func regenerate(outDir, only string, quick bool, workers int, simstats bool) error {
 	runner := core.NewRunner(workers)
 
 	var figs []figure
 	for _, fig := range figures(quick) {
 		if only == "" || fig.id == only {
+			fig.cfg.SimStats = simstats
 			figs = append(figs, fig)
 		}
 	}
@@ -89,7 +112,13 @@ func regenerate(outDir, only string, quick bool, workers int) error {
 		}
 		walls[i] = time.Since(start).Round(time.Millisecond)
 		results[i] = res
-		fmt.Printf("figure %s done (%v)\n", figs[i].id, walls[i])
+		if res.SimStats != nil {
+			fmt.Printf("figure %s done (%v) — %d events, %.3gM events/s, peak pending %d\n",
+				figs[i].id, walls[i], res.SimStats.EventsExecuted,
+				res.SimStats.EventsPerSecond/1e6, res.SimStats.PeakPending)
+		} else {
+			fmt.Printf("figure %s done (%v)\n", figs[i].id, walls[i])
+		}
 		return nil
 	})
 	if err != nil {
@@ -142,18 +171,18 @@ func regenerate(outDir, only string, quick bool, workers int) error {
 // benchParallel times the full regeneration serially and then on the
 // pool, and records the comparison — the repo's parallel-runner perf
 // trajectory — as JSON (see BENCH_parallel.json at the repo root).
-func benchParallel(benchPath, outDir, only string, quick bool, workers int) error {
+func benchParallel(benchPath, outDir, only string, quick bool, workers int, simstats bool) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	serialStart := time.Now()
-	if err := regenerate(outDir, only, quick, 1); err != nil {
+	if err := regenerate(outDir, only, quick, 1, simstats); err != nil {
 		return fmt.Errorf("serial pass: %w", err)
 	}
 	serial := time.Since(serialStart)
 
 	parallelStart := time.Now()
-	if err := regenerate(outDir, only, quick, workers); err != nil {
+	if err := regenerate(outDir, only, quick, workers, simstats); err != nil {
 		return fmt.Errorf("parallel pass: %w", err)
 	}
 	par := time.Since(parallelStart)

@@ -4,12 +4,18 @@
 //
 //	ntierlab list
 //	ntierlab run <scenario> [-duration 60s] [-seed 1] [-csv dir] [-json]
+//	              [-retention all|bounded] [-simstats]
+//	              [-cpuprofile file] [-memprofile file]
 //	ntierlab predict <rate req/s> <burst duration> <capacity>
 //	ntierlab fig12 [-points 100,200,400,800,1600] [-parallel N]
 //	ntierlab matrix [-duration 45s] [-parallel N]
 //	ntierlab replicate <scenario> [-n 5] [-duration 60s] [-parallel N]
 //	ntierlab sweep -scenario fig3 -seeds 1..500 [-shard 25] [-parallel N]
 //	                [-duration 60s] [-csv file] [-json] [-benchout file]
+//	                [-retention all|bounded] [-cpuprofile file] [-memprofile file]
+//	ntierlab simstats [-scenario fig3] [-duration 60s] [-seed 1]
+//	                [-retention all|bounded] [-benchout file]
+//	                [-cpuprofile file] [-memprofile file]
 //
 // The multi-run subcommands (fig12, matrix, replicate, sweep) fan their
 // independent simulations across a core.Runner worker pool: -parallel 0
@@ -20,9 +26,22 @@
 // merges the per-shard accumulators in shard order, and reports mean±95%
 // CI plus tail percentiles (p99, p99.9) of per-run VLRT counts, drops and
 // p99 response time — the quantities that need hundreds of replications.
+//
+// simstats is the kernel's own benchmark: it runs one scenario with DES
+// self-profiling on and reports events executed, events/second, the
+// pending-heap high-water mark and allocation totals. With -benchout it
+// records the measurement under the "simstats" key of the keyed JSON
+// bench file and prints a warn-only comparison against the previously
+// recorded baseline — the reference point for DES hot-path work.
+//
+// -retention bounded switches the response-time recorder to the
+// constant-memory telemetry path (HDR histogram + windowed counters);
+// the default, all, keeps every request exactly. -cpuprofile and
+// -memprofile write pprof profiles for the process.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +53,8 @@ import (
 
 	"ctqosim/internal/benchrec"
 	"ctqosim/internal/core"
+	"ctqosim/internal/metrics"
+	"ctqosim/internal/profiling"
 )
 
 func main() {
@@ -48,7 +69,7 @@ func scenarios() map[string]core.Config { return core.Scenarios() }
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ntierlab <list|run|predict|fig12|matrix|replicate|sweep> ...")
+		return fmt.Errorf("usage: ntierlab <list|run|predict|fig12|matrix|replicate|sweep|simstats> ...")
 	}
 	switch args[0] {
 	case "list":
@@ -65,6 +86,8 @@ func run(args []string) error {
 		return replicate(args[1:])
 	case "sweep":
 		return sweep(args[1:])
+	case "simstats":
+		return simstats(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -90,6 +113,9 @@ func runScenario(args []string) error {
 	csvDir := fs.String("csv", "", "write timeline CSVs into this directory")
 	asJSON := fs.Bool("json", false, "emit the machine-readable summary instead of text")
 	spans := fs.Bool("spans", false, "record per-request span traces and print the critical-path breakdown")
+	retention := fs.String("retention", "", "telemetry retention: all (default, exact) or bounded (constant-memory)")
+	withStats := fs.Bool("simstats", false, "profile the DES kernel and report events/second")
+	cpuProf, memProf := profileFlags(fs)
 
 	if len(args) == 0 {
 		return fmt.Errorf("usage: ntierlab run <scenario> [flags]")
@@ -111,6 +137,18 @@ func runScenario(args []string) error {
 	if *spans {
 		cfg.Spans = true
 	}
+	ret, err := parseRetention(*retention)
+	if err != nil {
+		return err
+	}
+	cfg.Retention = ret
+	cfg.SimStats = *withStats
+
+	stopProf, err := startProfiling(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	start := time.Now()
 	res, err := core.New(cfg).Run()
@@ -128,6 +166,11 @@ func runScenario(args []string) error {
 	fmt.Printf("simulated %v in %v wall time\n\n",
 		res.End, time.Since(start).Round(time.Millisecond))
 	fmt.Println(res.Summary())
+	if res.SimStats != nil {
+		fmt.Println("kernel self-profile:")
+		fmt.Println("  " + strings.ReplaceAll(res.SimStats.String(), "\n", "\n  "))
+		fmt.Println()
+	}
 	if res.Report != nil {
 		fmt.Println(res.Report)
 	}
@@ -226,6 +269,41 @@ func parallelFlag(fs *flag.FlagSet) *int {
 		"simulation worker pool size; 0 = GOMAXPROCS, 1 = serial (output is byte-identical either way)")
 }
 
+// profileFlags registers the shared pprof flags on a subcommand's flag
+// set. Pass the returned pointers to startProfiling after fs.Parse.
+func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a CPU pprof profile to this file")
+	mem = fs.String("memprofile", "", "write a heap pprof profile to this file on exit")
+	return cpu, mem
+}
+
+// startProfiling starts the requested pprof collection and returns the
+// stop function; deferred errors from stop are reported on stderr so
+// they never mask the subcommand's own error.
+func startProfiling(cpu, mem string) (func(), error) {
+	stop, err := profiling.Start(cpu, mem)
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ntierlab: profiling:", err)
+		}
+	}, nil
+}
+
+// parseRetention maps the -retention flag values onto metrics.Retention.
+func parseRetention(s string) (metrics.Retention, error) {
+	switch s {
+	case "", "all":
+		return metrics.RetainAll, nil
+	case "bounded":
+		return metrics.RetainBounded, nil
+	default:
+		return 0, fmt.Errorf("retention: want all or bounded, got %q", s)
+	}
+}
+
 func replicate(args []string) error {
 	fs := flag.NewFlagSet("replicate", flag.ContinueOnError)
 	n := fs.Int("n", 5, "number of replications")
@@ -301,7 +379,9 @@ func sweep(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the JSON report instead of text")
 	benchout := fs.String("benchout", "",
 		"time the sweep serially and on the pool, and record the comparison under the \"sweep\" key of this JSON file")
+	retention := fs.String("retention", "", "telemetry retention: all (default, exact) or bounded (constant-memory)")
 	parallel := parallelFlag(fs)
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -319,6 +399,16 @@ func sweep(args []string) error {
 	// slow the hundreds of replications down.
 	cfg.Trace = false
 	cfg.Spans = false
+	ret, err := parseRetention(*retention)
+	if err != nil {
+		return err
+	}
+	cfg.Retention = ret
+	stopProf, err := startProfiling(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	start, count, err := parseSeedRange(*seedsFlag)
 	if err != nil {
 		return err
@@ -406,6 +496,143 @@ func benchSweep(benchPath string, sc core.SweepConfig, workers int) error {
 	fmt.Printf("  serial %v, parallel(%d) %v — %.2fx; recorded in %s\n",
 		serial.Round(time.Millisecond), workers, par.Round(time.Millisecond),
 		record.Speedup, benchPath)
+	return nil
+}
+
+// simstatsWarnRatio is the warn-only regression threshold: a run below
+// this fraction of the recorded baseline's events/second prints a
+// warning on stderr but never fails the command — wall-clock numbers on
+// shared CI runners are too noisy for a hard gate.
+const simstatsWarnRatio = 0.5
+
+// simstatsRecord is the "simstats" entry of the keyed bench file: the
+// DES kernel's self-measured throughput baseline that hot-path work is
+// compared against.
+type simstatsRecord struct {
+	Benchmark       string  `json:"benchmark"`
+	Scenario        string  `json:"scenario"`
+	Seed            int64   `json:"seed"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Retention       string  `json:"retention"`
+	CPUs            int     `json:"cpus"`
+	EventsExecuted  uint64  `json:"events_executed"`
+	EventsScheduled uint64  `json:"events_scheduled"`
+	PeakPending     int     `json:"peak_pending"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSecond float64 `json:"events_per_second"`
+	AllocMB         float64 `json:"alloc_mb"`
+	GCCycles        uint32  `json:"gc_cycles"`
+}
+
+// readSimstatsBaseline loads the previously recorded "simstats" entry
+// from the keyed bench file, if one exists.
+func readSimstatsBaseline(path string) (simstatsRecord, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return simstatsRecord{}, false
+	}
+	entries := map[string]json.RawMessage{}
+	if json.Unmarshal(data, &entries) != nil {
+		return simstatsRecord{}, false
+	}
+	var rec simstatsRecord
+	if raw, ok := entries["simstats"]; !ok || json.Unmarshal(raw, &rec) != nil {
+		return simstatsRecord{}, false
+	}
+	return rec, true
+}
+
+func simstats(args []string) error {
+	fs := flag.NewFlagSet("simstats", flag.ContinueOnError)
+	scenario := fs.String("scenario", "fig3", "scenario to profile (see: ntierlab list)")
+	duration := fs.Duration("duration", 0, "override measured duration")
+	seed := fs.Int64("seed", 0, "override RNG seed")
+	retention := fs.String("retention", "bounded",
+		"telemetry retention: all (exact) or bounded (constant-memory)")
+	benchout := fs.String("benchout", "",
+		"record the measurement under the \"simstats\" key of this JSON file (warn-only comparison against the recorded baseline)")
+	cpuProf, memProf := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, ok := scenarios()[*scenario]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", *scenario)
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	// The kernel benchmark measures the event loop, not the tracing
+	// subsystems layered on it.
+	cfg.Trace = false
+	cfg.Spans = false
+	cfg.SimStats = true
+	ret, err := parseRetention(*retention)
+	if err != nil {
+		return err
+	}
+	cfg.Retention = ret
+	retName := "all"
+	if ret == metrics.RetainBounded {
+		retName = "bounded"
+	}
+
+	stopProf, err := startProfiling(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	exp := core.New(cfg)
+	defaulted := exp.Config()
+	res, err := exp.Run()
+	if err != nil {
+		return err
+	}
+	st := res.SimStats
+	fmt.Printf("%s seed %d, %v simulated, retention %s\n",
+		cfg.Name, defaulted.Seed, res.End, retName)
+	fmt.Println(st)
+	fmt.Printf("telemetry footprint: %.1f KB\n",
+		float64(res.Recorder.MemoryFootprint())/1024)
+
+	if *benchout == "" {
+		return nil
+	}
+	if base, ok := readSimstatsBaseline(*benchout); ok && base.EventsPerSecond > 0 {
+		ratio := st.EventsPerSecond / base.EventsPerSecond
+		if ratio < simstatsWarnRatio {
+			fmt.Fprintf(os.Stderr,
+				"ntierlab: WARNING: %.3gM events/s is %.0f%% of the recorded baseline %.3gM (warn-only, threshold %.0f%%)\n",
+				st.EventsPerSecond/1e6, 100*ratio,
+				base.EventsPerSecond/1e6, 100*simstatsWarnRatio)
+		} else {
+			fmt.Printf("baseline: %.3gM events/s recorded, this run %.2fx\n",
+				base.EventsPerSecond/1e6, ratio)
+		}
+	}
+	record := simstatsRecord{
+		Benchmark:       "ntierlab-simstats",
+		Scenario:        *scenario,
+		Seed:            defaulted.Seed,
+		DurationSeconds: defaulted.Duration.Seconds(),
+		Retention:       retName,
+		CPUs:            runtime.NumCPU(),
+		EventsExecuted:  st.EventsExecuted,
+		EventsScheduled: st.EventsScheduled,
+		PeakPending:     st.PeakPending,
+		WallSeconds:     st.WallSeconds,
+		EventsPerSecond: st.EventsPerSecond,
+		AllocMB:         float64(st.AllocBytes) / (1 << 20),
+		GCCycles:        st.GCCycles,
+	}
+	if err := benchrec.Update(*benchout, "simstats", record); err != nil {
+		return err
+	}
+	fmt.Printf("recorded in %s\n", *benchout)
 	return nil
 }
 

@@ -48,6 +48,10 @@ func TestRunDispatchErrors(t *testing.T) {
 		{[]string{"sweep", "-scenario", "fig3", "-seeds", "nope"}, "seeds"},
 		{[]string{"sweep", "-scenario", "fig3", "-seeds", "9..3"}, "empty range"},
 		{[]string{"sweep", "-scenario", "fig3", "-seeds", "0"}, "positive count"},
+		{[]string{"sweep", "-scenario", "fig3", "-retention", "sometimes"}, "retention"},
+		{[]string{"simstats", "-scenario", "no-such-scenario"}, "unknown scenario"},
+		{[]string{"simstats", "-retention", "sometimes"}, "retention"},
+		{[]string{"run", "fig3", "-retention", "sometimes"}, "retention"},
 	}
 	for _, tt := range tests {
 		err := run(tt.args)
@@ -217,6 +221,53 @@ func TestSweepSubcommand(t *testing.T) {
 	}
 	if rec["sweep"].Benchmark != "ntierlab-sweep" || rec["sweep"].Seeds != 2 || rec["sweep"].Speedup <= 0 {
 		t.Fatalf("sweep record wrong: %+v", rec)
+	}
+}
+
+// TestSimstatsSubcommand exercises the kernel self-profiling CLI end to
+// end: the benchout record, the baseline-comparison path on a second run
+// (warn-only, so it must never fail the command), and the pprof flag.
+func TestSimstatsSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := dir + "/BENCH_parallel.json"
+	profPath := dir + "/cpu.pprof"
+	args := []string{"simstats", "-scenario", "fig1-wl4000", "-duration", "5s",
+		"-benchout", benchPath, "-cpuprofile", profPath}
+	if err := run(args); err != nil {
+		t.Fatalf("simstats: %v", err)
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("benchout wrote no record: %v", err)
+	}
+	var rec map[string]struct {
+		Benchmark       string  `json:"benchmark"`
+		Scenario        string  `json:"scenario"`
+		Retention       string  `json:"retention"`
+		EventsExecuted  uint64  `json:"events_executed"`
+		EventsPerSecond float64 `json:"events_per_second"`
+		PeakPending     int     `json:"peak_pending"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("benchout record does not parse: %v\n%s", err, data)
+	}
+	got := rec["simstats"]
+	if got.Benchmark != "ntierlab-simstats" || got.Scenario != "fig1-wl4000" ||
+		got.Retention != "bounded" {
+		t.Fatalf("simstats record wrong: %+v", got)
+	}
+	if got.EventsExecuted == 0 || got.EventsPerSecond <= 0 || got.PeakPending <= 0 {
+		t.Fatalf("simstats record has empty kernel counters: %+v", got)
+	}
+	if fi, err := os.Stat(profPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpuprofile not written: %v", err)
+	}
+
+	// Second run compares against the baseline just recorded; the
+	// comparison is warn-only and must never surface as an error.
+	if err := run([]string{"simstats", "-scenario", "fig1-wl4000",
+		"-duration", "5s", "-benchout", benchPath}); err != nil {
+		t.Fatalf("simstats against baseline: %v", err)
 	}
 }
 

@@ -12,6 +12,7 @@ package core
 import (
 	"time"
 
+	"ctqosim/internal/des"
 	"ctqosim/internal/metrics"
 	"ctqosim/internal/ntier"
 	"ctqosim/internal/simnet"
@@ -247,6 +248,25 @@ type Config struct {
 
 	// Trace enables the micro-level event log and CTQO analysis.
 	Trace bool
+	// TraceReservoir, when positive with Trace, caps the event log's
+	// memory: drops/retransmissions/give-ups stay exact, delivered
+	// events are reservoir-sampled to this many exemplars, and per-kind
+	// counters stay exact (trace.NewCappedLog). Zero keeps every event.
+	TraceReservoir int
+
+	// Retention selects the recorder's memory policy: metrics.RetainAll
+	// (default, exact, O(requests) memory) or metrics.RetainBounded
+	// (constant-memory HDR aggregation for million-request runs).
+	Retention metrics.Retention
+	// HDR tunes the bounded-mode histograms; zero takes the defaults.
+	HDR metrics.HDRConfig
+	// MonitorCap, when positive, bounds every monitor series to this
+	// many stored samples via deterministic ring-window downsampling.
+	MonitorCap int
+	// SimStats enables DES kernel self-profiling: events executed, wall
+	// events/sec, peak pending-heap depth and allocation deltas are
+	// captured at the run boundaries into Result.SimStats.
+	SimStats bool
 
 	// Spans enables per-request span-tree tracing: every tier records
 	// queue-wait, service, downstream and retransmission-gap spans, and the
@@ -319,6 +339,8 @@ type Result struct {
 	DropsPerServer map[string]int64
 	// VLRTCount is the number of >3s steady requests.
 	VLRTCount int
+	// SimStats is the kernel self-profile, nil unless Config.SimStats.
+	SimStats *des.SimStats
 }
 
 // PeakUtil returns a watched VM's maximum windowed utilization (0..1).

@@ -114,11 +114,10 @@ func TestEndToEndInvariants(t *testing.T) {
 
 	// Per-server transport drops are an upper bound for the recorder's
 	// per-request attribution (warm-up requests are excluded there).
-	recDrops := res.Recorder.DropsByServer()
-	for tier, n := range recDrops {
-		if int64(n) > res.DropsPerServer[tier] {
+	for _, sd := range res.Recorder.DropsByServer() {
+		if int64(sd.Drops) > res.DropsPerServer[sd.Server] {
 			t.Fatalf("%s: recorder sees %d drops, transport only %d",
-				tier, n, res.DropsPerServer[tier])
+				sd.Server, sd.Drops, res.DropsPerServer[sd.Server])
 		}
 	}
 

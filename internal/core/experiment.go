@@ -100,6 +100,9 @@ func (e *Experiment) Run() (*Result, error) {
 
 	// --- monitoring ----------------------------------------------------
 	mon := metrics.NewMonitor(sim, cfg.SampleInterval)
+	if cfg.MonitorCap > 0 {
+		mon.LimitSamples(cfg.MonitorCap)
+	}
 	for _, srv := range steady.Servers() {
 		mon.WatchServer(srv)
 	}
@@ -109,7 +112,11 @@ func (e *Experiment) Run() (*Result, error) {
 
 	var log *trace.Log
 	if cfg.Trace {
-		log = trace.NewLog(sim)
+		if cfg.TraceReservoir > 0 {
+			log = trace.NewCappedLog(sim, cfg.Seed, cfg.TraceReservoir)
+		} else {
+			log = trace.NewLog(sim)
+		}
 		steady.Transport.Listener = log
 	}
 
@@ -125,6 +132,11 @@ func (e *Experiment) Run() (*Result, error) {
 	// --- steady workload -----------------------------------------------
 	rec := metrics.NewRecorder()
 	rec.WarmUp = cfg.WarmUp
+	rec.Retention = cfg.Retention
+	rec.HDR = cfg.HDR
+	// Bounded mode buckets VLRTs at the monitor interval, which is what
+	// Result.VLRTSeries asks for.
+	rec.SeriesWindow = cfg.SampleInterval
 	cl := workload.NewClosedLoop(sim, steady.Frontend(), workload.ClosedLoopConfig{
 		Clients:   cfg.Clients,
 		ThinkTime: cfg.ThinkTime,
@@ -202,6 +214,10 @@ func (e *Experiment) Run() (*Result, error) {
 	mon.Start()
 
 	// --- run -------------------------------------------------------------
+	var prof *des.Profile
+	if cfg.SimStats {
+		prof = sim.StartProfile()
+	}
 	end := cfg.WarmUp + cfg.Duration
 	if err := sim.Run(end); err != nil && err != des.ErrHorizon {
 		return nil, fmt.Errorf("simulate %s: %w", cfg.Name, err)
@@ -220,6 +236,10 @@ func (e *Experiment) Run() (*Result, error) {
 		TotalDrops:     steady.TotalDrops(),
 		DropsPerServer: make(map[string]int64),
 		VLRTCount:      rec.VLRTCount(),
+	}
+	if prof != nil {
+		st := prof.Stats()
+		res.SimStats = &st
 	}
 	for _, name := range steady.Transport.Destinations() {
 		if d := steady.Transport.Stats(name).Dropped; d > 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"ctqosim/internal/metrics"
 	"ctqosim/internal/simnet"
 	"ctqosim/internal/span"
 )
@@ -43,6 +44,21 @@ type SummaryJSON struct {
 	// SpanBreakdown is the critical-path decile table; present only when
 	// the run recorded span traces.
 	SpanBreakdown *SpanBreakdownJSON `json:"spanBreakdown,omitempty"`
+	// SimStats is the kernel self-profile; present only when the run had
+	// Config.SimStats (its wall-clock fields vary run to run, so it must
+	// stay out of byte-compared default output).
+	SimStats *SimStatsJSON `json:"simStats,omitempty"`
+}
+
+// SimStatsJSON is the machine-readable kernel self-profile.
+type SimStatsJSON struct {
+	EventsExecuted  uint64  `json:"eventsExecuted"`
+	EventsScheduled uint64  `json:"eventsScheduled"`
+	PeakPending     int     `json:"peakPending"`
+	WallSeconds     float64 `json:"wallSeconds"`
+	EventsPerSecond float64 `json:"eventsPerSecond"`
+	AllocMB         float64 `json:"allocMB"`
+	GCCycles        uint32  `json:"gcCycles"`
 }
 
 // EffectiveConfigJSON is the resolved configuration of a run: defaults
@@ -70,6 +86,13 @@ type EffectiveConfigJSON struct {
 
 	Trace bool `json:"trace"`
 	Spans bool `json:"spans"`
+
+	TraceReservoir int    `json:"traceReservoir,omitempty"`
+	Retention      string `json:"retention,omitempty"`
+	HDRSigBits     int    `json:"hdrSigBits,omitempty"`
+	HDRExactCap    int    `json:"hdrExactCap,omitempty"`
+	MonitorCap     int    `json:"monitorCap,omitempty"`
+	SimStats       bool   `json:"simStats,omitempty"`
 
 	Consolidation *ConsolidationJSON `json:"consolidation,omitempty"`
 	LogFlush      *LogFlushJSON      `json:"logFlush,omitempty"`
@@ -172,6 +195,17 @@ func Summarize(res *Result) SummaryJSON {
 	out.HistogramOverMax = h.Count(h.Bins())
 	out.EffectiveConfig = effectiveConfig(res.Config)
 	out.SpanBreakdown = spanBreakdownJSON(res)
+	if st := res.SimStats; st != nil {
+		out.SimStats = &SimStatsJSON{
+			EventsExecuted:  st.EventsExecuted,
+			EventsScheduled: st.EventsScheduled,
+			PeakPending:     st.PeakPending,
+			WallSeconds:     st.WallSeconds,
+			EventsPerSecond: st.EventsPerSecond,
+			AllocMB:         float64(st.AllocBytes) / (1 << 20),
+			GCCycles:        st.GCCycles,
+		}
+	}
 	return out
 }
 
@@ -194,6 +228,15 @@ func effectiveConfig(cfg Config) EffectiveConfigJSON {
 		OverheadPerThread:    cfg.OverheadPerThread,
 		Trace:                cfg.Trace,
 		Spans:                cfg.Spans,
+		TraceReservoir:       cfg.TraceReservoir,
+		MonitorCap:           cfg.MonitorCap,
+		SimStats:             cfg.SimStats,
+	}
+	if cfg.Retention == metrics.RetainBounded {
+		out.Retention = "bounded"
+		hdr := cfg.HDR.WithDefaults()
+		out.HDRSigBits = hdr.SigBits
+		out.HDRExactCap = hdr.ExactCap
 	}
 	if cfg.Burst != nil {
 		out.BurstIndex = cfg.Burst.Index

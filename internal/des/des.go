@@ -44,7 +44,8 @@ type Simulator struct {
 	seq    uint64
 	rng    *rand.Rand
 
-	executed uint64
+	executed    uint64
+	peakPending int
 }
 
 // NewSimulator returns a simulator whose clock starts at zero and whose RNG
@@ -64,8 +65,17 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
+// Scheduled returns the number of events ever scheduled (including
+// cancelled ones).
+func (s *Simulator) Scheduled() uint64 { return s.seq }
+
 // Pending returns the number of events currently scheduled.
 func (s *Simulator) Pending() int { return s.events.Len() }
+
+// PeakPending returns the largest pending-heap depth seen so far — the
+// kernel's own memory high-water mark, tracked unconditionally because a
+// comparison per schedule is free next to the heap push.
+func (s *Simulator) PeakPending() int { return s.peakPending }
 
 // Schedule registers fn to run after delay of simulated time. A negative
 // delay is treated as zero. The returned Event may be cancelled.
@@ -85,6 +95,9 @@ func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
 	e := &Event{time: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.events, e)
+	if n := s.events.Len(); n > s.peakPending {
+		s.peakPending = n
+	}
 	return e
 }
 

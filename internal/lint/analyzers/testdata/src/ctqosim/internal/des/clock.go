@@ -25,3 +25,20 @@ func escapeHatch() time.Time {
 func durationsAreFine(d time.Duration) time.Duration {
 	return d + 5*time.Millisecond
 }
+
+// measurementBoundary demonstrates the self-profiling convention: wall
+// reads at a run boundary are sanctioned only when annotated with
+// //lint:allow wallclock naming the measurement boundary — either on the
+// flagged line or on the line above it. An unannotated read inside the
+// same function is still flagged.
+func measurementBoundary() float64 {
+	start := time.Now() //lint:allow wallclock profiling measurement boundary
+	runBody()
+	//lint:allow wallclock profiling measurement boundary
+	wall := time.Since(start)
+	end := time.Now() // want `wall-clock time\.Now`
+	_ = end
+	return wall.Seconds()
+}
+
+func runBody() {}

@@ -1,0 +1,362 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ctqosim/internal/des"
+	"ctqosim/internal/workload"
+)
+
+// boundedPair records the same request stream into an exact and a bounded
+// recorder.
+func boundedPair(window time.Duration) (exact, bounded *Recorder) {
+	exact = NewRecorder()
+	bounded = NewRecorder()
+	bounded.Retention = RetainBounded
+	bounded.SeriesWindow = window
+	return exact, bounded
+}
+
+// TestBoundedRecorderMatchesExactSmallRun pins the small-run contract of
+// bounded mode: while the HDR histograms stay under ExactCap, every
+// recorder statistic is identical to the exact path.
+func TestBoundedRecorderMatchesExactSmallRun(t *testing.T) {
+	exact, bounded := boundedPair(50 * time.Millisecond)
+	reqs := []*workload.Request{
+		req(10*time.Millisecond, 110*time.Millisecond),
+		req(20*time.Millisecond, 4*time.Second, "apache"), // VLRT
+		req(60*time.Millisecond, 80*time.Millisecond),
+		req(120*time.Millisecond, 9*time.Second, "tomcat"), // VLRT
+		{Submitted: 130 * time.Millisecond, Completed: 150 * time.Millisecond, Failed: true,
+			Class: workload.Class{Name: "Static"}},
+		{Submitted: 140 * time.Millisecond, Completed: 400 * time.Millisecond,
+			Class: workload.Class{Name: "ViewStory"}},
+	}
+	for _, rq := range reqs {
+		exact.Record(rq)
+		bounded.Record(rq)
+	}
+
+	if exact.Len() != bounded.Len() {
+		t.Fatalf("Len: exact %d, bounded %d", exact.Len(), bounded.Len())
+	}
+	if exact.Mean() != bounded.Mean() {
+		t.Fatalf("Mean: exact %v, bounded %v", exact.Mean(), bounded.Mean())
+	}
+	if exact.VLRTCount() != bounded.VLRTCount() {
+		t.Fatalf("VLRTCount: exact %d, bounded %d", exact.VLRTCount(), bounded.VLRTCount())
+	}
+	if exact.FailedCount() != bounded.FailedCount() {
+		t.Fatalf("FailedCount: exact %d, bounded %d", exact.FailedCount(), bounded.FailedCount())
+	}
+	if exact.Throughput(time.Second) != bounded.Throughput(time.Second) {
+		t.Fatal("Throughput diverges")
+	}
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if e, b := exact.Percentile(p), bounded.Percentile(p); e != b {
+			t.Fatalf("Percentile(%v): exact %v, bounded %v", p, e, b)
+		}
+	}
+
+	eDrops, bDrops := exact.DropsByServer(), bounded.DropsByServer()
+	if len(eDrops) != len(bDrops) {
+		t.Fatalf("DropsByServer: exact %v, bounded %v", eDrops, bDrops)
+	}
+	for i := range eDrops {
+		if eDrops[i] != bDrops[i] {
+			t.Fatalf("DropsByServer[%d]: exact %v, bounded %v", i, eDrops[i], bDrops[i])
+		}
+	}
+
+	eSeries := exact.VLRTSeries(50*time.Millisecond, time.Second, "")
+	bSeries := bounded.VLRTSeries(50*time.Millisecond, time.Second, "")
+	if len(eSeries) != len(bSeries) {
+		t.Fatalf("VLRTSeries length: exact %d, bounded %d", len(eSeries), len(bSeries))
+	}
+	for i := range eSeries {
+		if eSeries[i] != bSeries[i] {
+			t.Fatalf("VLRTSeries[%d]: exact %d, bounded %d", i, eSeries[i], bSeries[i])
+		}
+	}
+	eApache := exact.VLRTSeries(50*time.Millisecond, time.Second, "apache")
+	bApache := bounded.VLRTSeries(50*time.Millisecond, time.Second, "apache")
+	for i := range eApache {
+		if eApache[i] != bApache[i] {
+			t.Fatalf("apache VLRTSeries[%d]: exact %d, bounded %d", i, eApache[i], bApache[i])
+		}
+	}
+
+	eClasses, bClasses := exact.ByClass(), bounded.ByClass()
+	if len(eClasses) != len(bClasses) {
+		t.Fatalf("ByClass: exact %v, bounded %v", eClasses, bClasses)
+	}
+	for i := range eClasses {
+		if eClasses[i] != bClasses[i] {
+			t.Fatalf("ByClass[%d]: exact %+v, bounded %+v", i, eClasses[i], bClasses[i])
+		}
+	}
+
+	thresholds := []time.Duration{50 * time.Millisecond, 200 * time.Millisecond, 5 * time.Second}
+	eCDF, bCDF := exact.CDF(thresholds), bounded.CDF(thresholds)
+	for i := range eCDF {
+		if eCDF[i] != bCDF[i] {
+			t.Fatalf("CDF[%d]: exact %+v, bounded %+v", i, eCDF[i], bCDF[i])
+		}
+	}
+
+	eHist := exact.Histogram(100*time.Millisecond, 10*time.Second)
+	bHist := bounded.Histogram(100*time.Millisecond, 10*time.Second)
+	for i := 0; i <= eHist.Bins(); i++ {
+		if eHist.Count(i) != bHist.Count(i) {
+			t.Fatalf("Histogram bin %d: exact %d, bounded %d", i, eHist.Count(i), bHist.Count(i))
+		}
+	}
+
+	// Bounded mode does not retain requests.
+	if bounded.Requests() != nil || bounded.ResponseTimes() != nil {
+		t.Fatal("bounded recorder retained requests")
+	}
+}
+
+// TestBoundedRecorderLargeRunAccuracy spills past ExactCap and checks the
+// degradation contract: counters stay exact, percentiles stay within the
+// histogram's relative error.
+func TestBoundedRecorderLargeRunAccuracy(t *testing.T) {
+	exact, bounded := boundedPair(0)
+	for i := 0; i < 20000; i++ {
+		rt := time.Duration((i*7919)%10000) * time.Millisecond // 0..10s spread
+		rq := req(time.Duration(i)*time.Millisecond, time.Duration(i)*time.Millisecond+rt)
+		exact.Record(rq)
+		bounded.Record(rq)
+	}
+	if exact.Len() != bounded.Len() || exact.Mean() != bounded.Mean() ||
+		exact.VLRTCount() != bounded.VLRTCount() {
+		t.Fatal("exact counters diverge in bounded mode")
+	}
+	maxErr := NewHDRHistogram(HDRConfig{}).RelativeError()
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		e, b := exact.Percentile(p), bounded.Percentile(p)
+		relErr := math.Abs(float64(b-e)) / float64(e)
+		if relErr > maxErr {
+			t.Fatalf("Percentile(%v): exact %v, bounded %v — error %.5f > %.5f",
+				p, e, b, relErr, maxErr)
+		}
+	}
+}
+
+// TestBoundedTelemetryFlatMemory is the acceptance test of the tentpole:
+// over the same simulated horizon, a bounded recorder's telemetry bytes
+// after 1M requests equal its bytes after 100k — memory is O(1) in the
+// request count. One request struct is reused throughout so the test
+// itself stays cheap.
+func TestBoundedTelemetryFlatMemory(t *testing.T) {
+	const horizon = 60 * time.Second
+	footprint := func(n int) int64 {
+		r := NewRecorder()
+		r.Retention = RetainBounded
+		r.SeriesWindow = 50 * time.Millisecond
+		rq := &workload.Request{Class: workload.Class{Name: "ViewStory"}}
+		for i := 0; i < n; i++ {
+			// Submissions cycle over the full horizon; every 1000th request
+			// is a VLRT with a drop so the windowed series and drop counters
+			// see traffic too.
+			rq.Submitted = time.Duration(i%1000) * (horizon / 1000)
+			rq.Completed = rq.Submitted + 100*time.Millisecond
+			rq.Drops = nil
+			rq.Failed = false
+			if i%1000 == 999 {
+				rq.Completed = rq.Submitted + 5*time.Second
+				rq.Drops = []string{"apache"}
+			}
+			r.Record(rq)
+		}
+		if r.Len() != n {
+			t.Fatalf("Len = %d, want %d", r.Len(), n)
+		}
+		return r.MemoryFootprint()
+	}
+	small, big := footprint(100_000), footprint(1_000_000)
+	if small != big {
+		t.Fatalf("telemetry grew with request count: %d bytes at 100k, %d bytes at 1M",
+			small, big)
+	}
+	if limit := int64(256 * 1024); big > limit {
+		t.Fatalf("bounded telemetry footprint %d bytes exceeds %d", big, limit)
+	}
+	// The exact path, by contrast, must grow: that is what bounded mode buys.
+	exact := NewRecorder()
+	for i := 0; i < 1000; i++ {
+		exact.Record(req(0, time.Millisecond))
+	}
+	if exact.MemoryFootprint() <= 0 || exact.MemoryFootprint() < 1000*8 {
+		t.Fatalf("exact footprint accounting suspicious: %d", exact.MemoryFootprint())
+	}
+}
+
+// TestBoundedVLRTSeriesWindowMismatch pins that bounded mode only answers
+// for the retained window width.
+func TestBoundedVLRTSeriesWindowMismatch(t *testing.T) {
+	_, bounded := boundedPair(50 * time.Millisecond)
+	bounded.Record(req(10*time.Millisecond, 4*time.Second))
+	if got := bounded.VLRTSeries(100*time.Millisecond, time.Second, ""); got != nil {
+		t.Fatalf("mismatched window returned %v, want nil", got)
+	}
+	if got := bounded.VLRTSeries(50*time.Millisecond, time.Second, ""); got == nil {
+		t.Fatal("matching window returned nil")
+	}
+}
+
+// TestSeriesRingWindowFold walks the deterministic downsampling ladder:
+// cap 4 at 50ms folds into 2 samples at 100ms, then again at 200ms, with
+// every stored value the exact mean of the raw samples it summarizes.
+func TestSeriesRingWindowFold(t *testing.T) {
+	s := &Series{Interval: 50 * time.Millisecond, MaxSamples: 4}
+	for i := 1; i <= 4; i++ {
+		s.Append(float64(i))
+	}
+	// len hit the cap → fold to pair means at doubled interval.
+	if len(s.Values) != 2 || s.Values[0] != 1.5 || s.Values[1] != 3.5 {
+		t.Fatalf("after first fold: %v", s.Values)
+	}
+	if s.Interval != 100*time.Millisecond || s.Factor() != 2 {
+		t.Fatalf("after first fold: interval %v factor %d", s.Interval, s.Factor())
+	}
+	for i := 5; i <= 8; i++ {
+		s.Append(float64(i))
+	}
+	if len(s.Values) != 2 || s.Values[0] != 2.5 || s.Values[1] != 6.5 {
+		t.Fatalf("after second fold: %v", s.Values)
+	}
+	if s.Interval != 200*time.Millisecond || s.Factor() != 4 {
+		t.Fatalf("after second fold: interval %v factor %d", s.Interval, s.Factor())
+	}
+	// A partial coarse window stays in the carry, not in Values.
+	s.Append(9)
+	if len(s.Values) != 2 {
+		t.Fatalf("partial window leaked into Values: %v", s.Values)
+	}
+}
+
+// TestSeriesRingWindowLongRun checks the bound holds over a long horizon
+// and that the windowed means conserve the overall mean exactly when the
+// sample count is a multiple of the fold factor.
+func TestSeriesRingWindowLongRun(t *testing.T) {
+	s := &Series{Interval: 50 * time.Millisecond, MaxSamples: 8}
+	const n = 4096
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := float64(i % 17)
+		sum += v
+		s.Append(v)
+	}
+	if len(s.Values) > 8 {
+		t.Fatalf("ring window exceeded cap: %d stored", len(s.Values))
+	}
+	if got := s.Interval * time.Duration(len(s.Values)); got < 50*time.Millisecond*n/2 {
+		t.Fatalf("coarsened span %v does not cover the horizon", got)
+	}
+	// n is a power of two, so every stored value summarizes exactly factor
+	// raw samples and the mean of stored values equals the raw mean.
+	if got, want := s.Mean(), sum/n; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Mean after folds = %v, want %v", got, want)
+	}
+}
+
+// TestSeriesUnboundedUnchanged pins the default path: MaxSamples 0 keeps
+// plain appends — the byte-identity contract for existing runs.
+func TestSeriesUnboundedUnchanged(t *testing.T) {
+	s := &Series{Interval: 50 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i))
+	}
+	if len(s.Values) != 100 || s.Factor() != 1 || s.Interval != 50*time.Millisecond {
+		t.Fatalf("unbounded series changed: len %d factor %d interval %v",
+			len(s.Values), s.Factor(), s.Interval)
+	}
+}
+
+// TestSeriesCapNormalization pins the odd/small cap handling: caps below
+// 2 and odd caps normalize up to the next even bound.
+func TestSeriesCapNormalization(t *testing.T) {
+	one := &Series{Interval: time.Millisecond, MaxSamples: 1} // behaves as 2
+	one.Append(1)
+	one.Append(3)
+	if len(one.Values) != 1 || one.Values[0] != 2 {
+		t.Fatalf("cap 1: %v", one.Values)
+	}
+	odd := &Series{Interval: time.Millisecond, MaxSamples: 3} // behaves as 4
+	for i := 1; i <= 4; i++ {
+		odd.Append(float64(i))
+	}
+	if len(odd.Values) != 2 || odd.Values[0] != 1.5 || odd.Values[1] != 3.5 {
+		t.Fatalf("cap 3: %v", odd.Values)
+	}
+}
+
+// TestSeriesAtEdgeCases is the table-driven horizon-boundary guard for
+// At: queries at zero, mid-window, exactly on a boundary, past the
+// horizon and on degenerate series must clamp instead of indexing out of
+// range.
+func TestSeriesAtEdgeCases(t *testing.T) {
+	base := &Series{Interval: 50 * time.Millisecond, Values: []float64{10, 20, 30, 40}}
+	folded := &Series{Interval: 100 * time.Millisecond, Values: []float64{15, 35},
+		MaxSamples: 2, factor: 2}
+	tests := []struct {
+		name string
+		s    *Series
+		t    time.Duration
+		want float64
+	}{
+		{"zero time clamps to first", base, 0, 10},
+		{"negative time clamps to first", base, -time.Second, 10},
+		{"first sample boundary", base, 50 * time.Millisecond, 10},
+		{"mid series", base, 100 * time.Millisecond, 20},
+		{"sample boundary rounds down", base, 149 * time.Millisecond, 20},
+		{"exact horizon", base, 200 * time.Millisecond, 40},
+		{"past horizon clamps to last", base, time.Hour, 40},
+		{"folded series uses coarsened interval", folded, 100 * time.Millisecond, 15},
+		{"folded series horizon", folded, 200 * time.Millisecond, 35},
+		{"folded past horizon", folded, time.Minute, 35},
+		{"empty series", &Series{Interval: time.Millisecond}, time.Second, 0},
+		{"zero interval", &Series{Values: []float64{5}}, time.Second, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.s.At(tt.t); got != tt.want {
+			t.Errorf("%s: At(%v) = %v, want %v", tt.name, tt.t, got, tt.want)
+		}
+	}
+}
+
+// TestMonitorLimitSamples checks the monitor-level wiring: a cap set
+// before or after WatchServer bounds every series, and sampling through
+// the DES produces the folded view.
+func TestMonitorLimitSamples(t *testing.T) {
+	sim := des.NewSimulator(1)
+	mon := NewMonitor(sim, 50*time.Millisecond)
+	early := &fakeDepth{name: "early", depth: 2}
+	mon.WatchServer(early) // watched before the cap: LimitSamples must reach it
+	mon.LimitSamples(4)
+	late := &fakeDepth{name: "late", depth: 3}
+	mon.WatchServer(late)
+	mon.Start()
+	if err := sim.Run(time.Second); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, name := range []string{"early", "late"} {
+		s := mon.Queue(name)
+		if len(s.Values) > 4 {
+			t.Fatalf("%s: %d stored samples, cap 4", name, len(s.Values))
+		}
+		if s.Factor() < 2 {
+			t.Fatalf("%s: no fold happened over 20 samples (factor %d)", name, s.Factor())
+		}
+		// Constant input folds to the same constant.
+		for _, v := range s.Values {
+			if v != float64(mon.Queue(name).Values[0]) {
+				t.Fatalf("%s: folded values not constant: %v", name, s.Values)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzHDRMergeCommute drives the shard-order-independence contract with
+// arbitrary shard contents: whatever two value sets the input encodes,
+// Merge(a,b) and Merge(b,a) must serialize byte-identically — the
+// property the sweep accumulators rely on for any-worker-count
+// byte-identity.
+//
+// Input layout: byte 0 picks the precision, byte 1 the exact-mode
+// capacity (0 disables it), byte 2 the a/b split point; each following
+// pair of bytes is one millisecond-scaled duration.
+func FuzzHDRMergeCommute(f *testing.F) {
+	f.Add([]byte("\x07\x10\x05abcdefghijklmnopqrstuvwxyz0123456789"))
+	f.Add([]byte("\x01\x00\x01\xff\xff\x00\x00\x80\x01"))
+	f.Add([]byte("\x0e\x02\xff" + "samples beyond the split all land in shard a"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cfg := HDRConfig{SigBits: int(data[0]%10) + 1}
+		if data[1] == 0 {
+			cfg.ExactCap = -1
+		} else {
+			cfg.ExactCap = int(data[1])
+		}
+		split := int(data[2])
+		values := data[3:]
+
+		build := func() (a, b *HDRHistogram) {
+			a, b = NewHDRHistogram(cfg), NewHDRHistogram(cfg)
+			for i := 0; i+1 < len(values); i += 2 {
+				v := time.Duration(binary.BigEndian.Uint16(values[i:])) * time.Millisecond
+				if i/2 < split {
+					a.Observe(v)
+				} else {
+					b.Observe(v)
+				}
+			}
+			return a, b
+		}
+
+		a1, b1 := build()
+		if err := a1.Merge(b1); err != nil {
+			t.Fatalf("Merge(a,b): %v", err)
+		}
+		a2, b2 := build()
+		if err := b2.Merge(a2); err != nil {
+			t.Fatalf("Merge(b,a): %v", err)
+		}
+
+		ab, err := a1.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := b2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, ba) {
+			t.Fatalf("merge order changes serialization:\nab=%x\nba=%x", ab, ba)
+		}
+		if a1.Count() != b2.Count() || a1.Sum() != b2.Sum() {
+			t.Fatalf("merge order changes counters: count %d vs %d, sum %d vs %d",
+				a1.Count(), b2.Count(), a1.Sum(), b2.Sum())
+		}
+	})
+}

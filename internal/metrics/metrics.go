@@ -17,12 +17,37 @@ import (
 // request.
 const VLRTThreshold = 3 * time.Second
 
+// Retention selects the recorder's memory policy.
+type Retention int
+
+const (
+	// RetainAll keeps every recorded request — the exact default used by
+	// small runs and the byte-identity tests.
+	RetainAll Retention = iota
+	// RetainBounded keeps only constant-memory aggregates: an
+	// HDRHistogram per distribution, exact counters for everything
+	// countable, and the per-window VLRT series. Memory is O(1) in the
+	// request count, so million-request runs stay cheap; percentiles are
+	// within the histogram's RelativeError of the exact answer.
+	RetainBounded
+)
+
 // Recorder collects completed requests. It implements workload.Sink.
 // A warm-up cutoff excludes ramp-up artifacts from statistics.
+//
+// Retention, HDR and SeriesWindow must be set before the first Record.
 type Recorder struct {
 	// WarmUp excludes requests submitted before this simulated time from
 	// all statistics.
 	WarmUp time.Duration
+	// Retention selects between exact request retention (RetainAll, the
+	// default) and constant-memory aggregation (RetainBounded).
+	Retention Retention
+	// HDR tunes the bounded-mode histograms; zero takes the defaults.
+	HDR HDRConfig
+	// SeriesWindow is the bounded-mode VLRT bucketing window (normally
+	// the monitor interval). Zero disables the bounded VLRT series.
+	SeriesWindow time.Duration
 
 	requests []*workload.Request
 	// sorted caches the ascending response times so repeated quantile
@@ -30,6 +55,26 @@ type Recorder struct {
 	// invalidated by Record. Not safe for concurrent use, like the rest
 	// of the Recorder.
 	sorted []time.Duration
+
+	// Bounded-mode aggregates (nil/zero under RetainAll).
+	hdr          *HDRHistogram
+	count        int
+	sumRT        time.Duration
+	vlrt         int
+	failed       int
+	drops        map[string]int
+	classes      map[string]*classAccum
+	vlrtAll      []int
+	vlrtByServer map[string][]int
+}
+
+// classAccum is the bounded-mode per-class aggregate behind ByClass.
+type classAccum struct {
+	count  int
+	sum    time.Duration
+	hdr    *HDRHistogram
+	vlrt   int
+	failed int
 }
 
 var _ workload.Sink = (*Recorder)(nil)
@@ -37,24 +82,92 @@ var _ workload.Sink = (*Recorder)(nil)
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// bounded reports whether the recorder aggregates instead of retaining.
+func (r *Recorder) bounded() bool { return r.Retention == RetainBounded }
+
 // Record implements workload.Sink.
 func (r *Recorder) Record(req *workload.Request) {
 	if req.Submitted < r.WarmUp {
 		return
 	}
-	r.requests = append(r.requests, req)
-	r.sorted = nil
+	if !r.bounded() {
+		r.requests = append(r.requests, req)
+		r.sorted = nil
+		return
+	}
+	if r.hdr == nil {
+		r.hdr = NewHDRHistogram(r.HDR)
+		r.drops = make(map[string]int)
+		r.classes = make(map[string]*classAccum)
+		r.vlrtByServer = make(map[string][]int)
+	}
+	rt := req.ResponseTime()
+	r.count++
+	r.sumRT += rt
+	r.hdr.Observe(rt)
+	if req.Failed {
+		r.failed++
+	}
+	for _, s := range req.Drops {
+		r.drops[s]++
+	}
+	if req.VLRT() {
+		r.vlrt++
+		if r.SeriesWindow > 0 {
+			idx := int((req.Submitted - r.WarmUp) / r.SeriesWindow)
+			r.vlrtAll = growCount(r.vlrtAll, idx)
+			if s := req.DroppedBy(); s != "" {
+				r.vlrtByServer[s] = growCount(r.vlrtByServer[s], idx)
+			}
+		}
+	}
+	ca := r.classes[req.Class.Name]
+	if ca == nil {
+		ca = &classAccum{hdr: NewHDRHistogram(r.HDR)}
+		r.classes[req.Class.Name] = ca
+	}
+	ca.count++
+	ca.sum += rt
+	ca.hdr.Observe(rt)
+	if req.VLRT() {
+		ca.vlrt++
+	}
+	if req.Failed {
+		ca.failed++
+	}
+}
+
+// growCount extends s so index idx exists, increments it, and returns the
+// slice.
+func growCount(s []int, idx int) []int {
+	if idx < 0 {
+		return s
+	}
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	s[idx]++
+	return s
 }
 
 // Len returns the number of recorded requests.
-func (r *Recorder) Len() int { return len(r.requests) }
+func (r *Recorder) Len() int {
+	if r.bounded() {
+		return r.count
+	}
+	return len(r.requests)
+}
 
 // Requests returns the recorded requests (shared slice; callers must not
-// mutate).
+// mutate). Nil in bounded mode — requests are not retained there.
 func (r *Recorder) Requests() []*workload.Request { return r.requests }
 
-// ResponseTimes returns a new slice of all recorded response times.
+// ResponseTimes returns a new slice of all recorded response times, or
+// nil in bounded mode.
 func (r *Recorder) ResponseTimes() []time.Duration {
+	if r.bounded() {
+		return nil
+	}
 	out := make([]time.Duration, 0, len(r.requests))
 	for _, req := range r.requests {
 		out = append(out, req.ResponseTime())
@@ -69,11 +182,18 @@ func (r *Recorder) Throughput(until time.Duration) float64 {
 	if span <= 0 {
 		return 0
 	}
-	return float64(len(r.requests)) / span
+	return float64(r.Len()) / span
 }
 
-// Mean returns the mean response time.
+// Mean returns the mean response time (exact in both retention modes:
+// sums never degrade under bucketing).
 func (r *Recorder) Mean() time.Duration {
+	if r.bounded() {
+		if r.count == 0 {
+			return 0
+		}
+		return r.sumRT / time.Duration(r.count)
+	}
 	if len(r.requests) == 0 {
 		return 0
 	}
@@ -115,6 +235,12 @@ func NearestRank(p float64, n int) int {
 // the nearest-rank method (rank ceil(p*n)). The sorted order is cached
 // across calls and invalidated on Record.
 func (r *Recorder) Percentile(p float64) time.Duration {
+	if r.bounded() {
+		if r.hdr == nil {
+			return 0
+		}
+		return r.hdr.Quantile(p)
+	}
 	if len(r.requests) == 0 {
 		return 0
 	}
@@ -131,6 +257,9 @@ func (r *Recorder) Percentile(p float64) time.Duration {
 // VLRTCount returns the number of recorded requests slower than the
 // 3-second threshold.
 func (r *Recorder) VLRTCount() int {
+	if r.bounded() {
+		return r.vlrt
+	}
 	n := 0
 	for _, req := range r.requests {
 		if req.VLRT() {
@@ -143,6 +272,9 @@ func (r *Recorder) VLRTCount() int {
 // FailedCount returns the number of requests that never completed
 // successfully.
 func (r *Recorder) FailedCount() int {
+	if r.bounded() {
+		return r.failed
+	}
 	n := 0
 	for _, req := range r.requests {
 		if req.Failed {
@@ -152,14 +284,35 @@ func (r *Recorder) FailedCount() int {
 	return n
 }
 
+// ServerDrops is one server's recorded drop count.
+type ServerDrops struct {
+	// Server is the dropping server's name.
+	Server string
+	// Drops is how many packets it dropped.
+	Drops int
+}
+
 // DropsByServer aggregates packet drops per responsible server across all
-// recorded requests.
-func (r *Recorder) DropsByServer() map[string]int {
-	out := make(map[string]int)
-	for _, req := range r.requests {
-		for _, s := range req.Drops {
-			out[s]++
+// recorded requests, sorted by server name so renderings are
+// deterministic end-to-end.
+func (r *Recorder) DropsByServer() []ServerDrops {
+	counts := r.drops
+	if !r.bounded() {
+		counts = make(map[string]int)
+		for _, req := range r.requests {
+			for _, s := range req.Drops {
+				counts[s]++
+			}
 		}
+	}
+	names := make([]string, 0, len(counts))
+	for s := range counts {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	out := make([]ServerDrops, 0, len(names))
+	for _, s := range names {
+		out = append(out, ServerDrops{Server: s, Drops: counts[s]})
 	}
 	return out
 }
@@ -167,11 +320,25 @@ func (r *Recorder) DropsByServer() map[string]int {
 // VLRTSeries counts VLRT requests per window of the given width, bucketed
 // by submission time (the paper's Figs. 3c/5c/7c). If server is non-empty,
 // only requests whose first drop happened at that server are counted.
+// In bounded mode only the SeriesWindow width is retained; other widths
+// return nil.
 func (r *Recorder) VLRTSeries(window, until time.Duration, serverName string) []int {
 	if window <= 0 || until <= r.WarmUp {
 		return nil
 	}
 	n := int((until-r.WarmUp)/window) + 1
+	if r.bounded() {
+		if window != r.SeriesWindow {
+			return nil
+		}
+		stored := r.vlrtAll
+		if serverName != "" {
+			stored = r.vlrtByServer[serverName]
+		}
+		out := make([]int, n)
+		copy(out, stored) // clip past-horizon windows, zero-pad short runs
+		return out
+	}
 	out := make([]int, n)
 	for _, req := range r.requests {
 		if !req.VLRT() {
@@ -208,6 +375,26 @@ type ClassStats struct {
 // by class name. Useful for verifying that the long tail is class-blind —
 // the paper's point that VLRT requests are not the "expensive" requests.
 func (r *Recorder) ByClass() []ClassStats {
+	if r.bounded() {
+		names := make([]string, 0, len(r.classes))
+		for name := range r.classes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out := make([]ClassStats, 0, len(names))
+		for _, name := range names {
+			ca := r.classes[name]
+			out = append(out, ClassStats{
+				Class:  name,
+				Count:  ca.count,
+				Mean:   ca.sum / time.Duration(ca.count),
+				P99:    ca.hdr.Quantile(0.99),
+				VLRT:   ca.vlrt,
+				Failed: ca.failed,
+			})
+		}
+		return out
+	}
 	group := make(map[string][]*workload.Request)
 	for _, req := range r.requests {
 		group[req.Class.Name] = append(group[req.Class.Name], req)
@@ -255,9 +442,17 @@ type CDFPoint struct {
 // need not be sorted). Useful for tail comparisons across architectures.
 func (r *Recorder) CDF(thresholds []time.Duration) []CDFPoint {
 	out := make([]CDFPoint, 0, len(thresholds))
-	if len(r.requests) == 0 {
+	if r.Len() == 0 {
 		for _, t := range thresholds {
 			out = append(out, CDFPoint{RT: t})
+		}
+		return out
+	}
+	if r.bounded() {
+		total := float64(r.hdr.Count())
+		for _, t := range thresholds {
+			frac := float64(r.hdr.CumulativeCount(t)) / total
+			out = append(out, CDFPoint{RT: t, Fraction: frac})
 		}
 		return out
 	}
@@ -271,13 +466,48 @@ func (r *Recorder) CDF(thresholds []time.Duration) []CDFPoint {
 
 // Histogram builds a response-time frequency histogram with the given bin
 // width, covering [0, maxRT); slower requests land in the final overflow
-// bin. This regenerates the paper's Fig. 1 semi-log plots.
+// bin. This regenerates the paper's Fig. 1 semi-log plots. In bounded
+// mode the bins are reconstructed from the HDR buckets, so counts near a
+// bin edge can shift by the histogram's RelativeError of the edge.
 func (r *Recorder) Histogram(binWidth, maxRT time.Duration) *Histogram {
 	h := NewHistogram(binWidth, maxRT)
+	if r.bounded() {
+		if r.hdr != nil {
+			r.hdr.Each(func(v time.Duration, c int64) { h.ObserveN(v, c) })
+		}
+		return h
+	}
 	for _, req := range r.requests {
 		h.Observe(req.ResponseTime())
 	}
 	return h
+}
+
+// MemoryFootprint returns a deterministic accounting (in bytes) of the
+// recorder's retained telemetry: request pointers under RetainAll, the
+// fixed histograms, counters and horizon-bounded VLRT series under
+// RetainBounded. It is the quantity the flat-memory acceptance test pins:
+// in bounded mode it depends on the class mix and horizon, never on the
+// request count.
+func (r *Recorder) MemoryFootprint() int64 {
+	if !r.bounded() {
+		// Pointer slice plus the retained request structs themselves.
+		const requestBytes = 8 + 96 // pointer + approximate struct size
+		return int64(cap(r.requests))*requestBytes + int64(cap(r.sorted))*8
+	}
+	var total int64
+	if r.hdr != nil {
+		total += r.hdr.FootprintBytes()
+	}
+	for _, ca := range r.classes {
+		total += ca.hdr.FootprintBytes() + 32
+	}
+	total += int64(cap(r.vlrtAll)) * 8
+	for _, s := range r.vlrtByServer {
+		total += int64(cap(s)) * 8
+	}
+	total += int64(len(r.drops)) * 24
+	return total
 }
 
 // Histogram is a fixed-bin latency histogram with an overflow bin.
@@ -301,7 +531,14 @@ func NewHistogram(binWidth, maxRT time.Duration) *Histogram {
 }
 
 // Observe adds one sample.
-func (h *Histogram) Observe(d time.Duration) {
+func (h *Histogram) Observe(d time.Duration) { h.ObserveN(d, 1) }
+
+// ObserveN adds n samples of the same value — the bulk path used when
+// reconstructing fixed bins from an HDRHistogram's buckets.
+func (h *Histogram) ObserveN(d time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
 	idx := int(d / h.binWidth)
 	if d < 0 {
 		idx = 0
@@ -309,8 +546,8 @@ func (h *Histogram) Observe(d time.Duration) {
 	if idx >= len(h.counts)-1 {
 		idx = len(h.counts) - 1
 	}
-	h.counts[idx]++
-	h.total++
+	h.counts[idx] += n
+	h.total += n
 }
 
 // Bins returns the number of regular bins (excluding overflow).

@@ -159,11 +159,14 @@ func TestRecorderEmpty(t *testing.T) {
 
 func TestDropsByServer(t *testing.T) {
 	r := NewRecorder()
-	r.Record(req(0, time.Second, "apache", "apache"))
+	// Record in an order that differs from the sorted output to pin the
+	// deterministic server-name ordering.
 	r.Record(req(0, time.Second, "tomcat"))
+	r.Record(req(0, time.Second, "apache", "apache"))
 	got := r.DropsByServer()
-	if got["apache"] != 2 || got["tomcat"] != 1 {
-		t.Fatalf("DropsByServer = %v", got)
+	want := []ServerDrops{{Server: "apache", Drops: 2}, {Server: "tomcat", Drops: 1}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("DropsByServer = %v, want %v", got, want)
 	}
 }
 

@@ -1,0 +1,61 @@
+// Package profiling wires the runtime/pprof CPU and heap profilers into
+// the CLIs, so DES hot-path work has first-class profiling hooks:
+//
+//	stop, err := profiling.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// Both paths are optional; an empty path disables that profile. The
+// package lives outside the sim-time packages on purpose — profilers are
+// host-side measurement, not simulation state.
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and arranges a
+// heap profile at memPath (if non-empty). The returned stop function
+// flushes and closes both; it is safe to call when both paths are empty
+// (a no-op) and must be called at most once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cpuprofile: %w", err))
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("memprofile: %w", err))
+			} else {
+				runtime.GC() // flush recent allocations into the heap profile
+				if err := pprof.WriteHeapProfile(memFile); err != nil {
+					errs = append(errs, fmt.Errorf("memprofile: %w", err))
+				}
+				if err := memFile.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("memprofile: %w", err))
+				}
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"ctqosim/internal/des"
+	"ctqosim/internal/metrics"
+	"ctqosim/internal/simnet"
+)
+
+// TestCappedLogKeepsDropsExactly pins the retention split: every
+// non-delivered event survives a capped log verbatim while delivered
+// events are bounded by the reservoir capacity.
+func TestCappedLogKeepsDropsExactly(t *testing.T) {
+	sim := des.NewSimulator(1)
+	log := NewCappedLog(sim, 7, 10)
+	if !log.Capped() {
+		t.Fatal("NewCappedLog with positive capacity is not capped")
+	}
+	call := &simnet.Call{Attempts: 1}
+	for i := 0; i < 500; i++ {
+		log.Delivered("apache", call)
+	}
+	for i := 0; i < 25; i++ {
+		log.Dropped("apache", call)
+		log.Retransmitted("tomcat", call)
+	}
+	log.GaveUp("apache", call)
+
+	if got := len(log.EventsOfKind(KindDropped)); got != 25 {
+		t.Fatalf("dropped events retained = %d, want 25 (exact)", got)
+	}
+	if got := len(log.EventsOfKind(KindRetransmitted)); got != 25 {
+		t.Fatalf("retransmitted events retained = %d, want 25 (exact)", got)
+	}
+	if got := len(log.EventsOfKind(KindGaveUp)); got != 1 {
+		t.Fatalf("gave-up events retained = %d, want 1 (exact)", got)
+	}
+	if got := len(log.EventsOfKind(KindDelivered)); got != 10 {
+		t.Fatalf("delivered exemplars = %d, want the capacity 10", got)
+	}
+}
+
+// TestCappedLogCountersExact pins that the per-kind/per-server tally
+// never degrades, whatever the sampling does to the events themselves.
+func TestCappedLogCountersExact(t *testing.T) {
+	sim := des.NewSimulator(1)
+	log := NewCappedLog(sim, 3, 4)
+	call := &simnet.Call{}
+	for i := 0; i < 1000; i++ {
+		log.Delivered("apache", call)
+	}
+	for i := 0; i < 300; i++ {
+		log.Delivered("tomcat", call)
+	}
+	log.Dropped("apache", call)
+	log.Dropped("apache", call)
+
+	if got := log.CountOf(KindDelivered, "apache"); got != 1000 {
+		t.Fatalf("delivered@apache = %d, want 1000", got)
+	}
+	if got := log.CountOf(KindDelivered, "tomcat"); got != 300 {
+		t.Fatalf("delivered@tomcat = %d, want 300", got)
+	}
+	if got := log.CountOf(KindDropped, "apache"); got != 2 {
+		t.Fatalf("dropped@apache = %d, want 2", got)
+	}
+	want := []EventCount{
+		{Kind: KindDelivered, Server: "apache", Count: 1000},
+		{Kind: KindDelivered, Server: "tomcat", Count: 300},
+		{Kind: KindDropped, Server: "apache", Count: 2},
+	}
+	got := log.Counters()
+	if len(got) != len(want) {
+		t.Fatalf("Counters = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Counters[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUncappedCountersExact checks the tally is maintained on the default
+// log too, so consumers can switch retention without changing queries.
+func TestUncappedCountersExact(t *testing.T) {
+	sim := des.NewSimulator(1)
+	log := NewLog(sim)
+	call := &simnet.Call{}
+	log.Delivered("apache", call)
+	log.Dropped("apache", call)
+	if log.Capped() {
+		t.Fatal("NewLog must be uncapped")
+	}
+	if log.CountOf(KindDelivered, "apache") != 1 || log.CountOf(KindDropped, "apache") != 1 {
+		t.Fatalf("uncapped counters = %v", log.Counters())
+	}
+	if log.CountOf(KindGaveUp, "nowhere") != 0 {
+		t.Fatal("missing cell must count 0")
+	}
+}
+
+// TestCappedLogMergedOrder pins the (time, insertion) ordering of the
+// merged view: retained events come back in the original interleaving
+// even though drops and delivered exemplars live in separate stores.
+func TestCappedLogMergedOrder(t *testing.T) {
+	sim := des.NewSimulator(1)
+	log := NewCappedLog(sim, 1, 100) // capacity above volume: nothing evicted
+	call := &simnet.Call{}
+	for i := 0; i < 5; i++ {
+		at := time.Duration(i) * time.Second
+		sim.Schedule(at, func() {
+			log.Delivered("apache", call)
+			log.Dropped("apache", call)
+			log.Delivered("tomcat", call)
+		})
+	}
+	if err := sim.Run(10 * time.Second); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	evs := log.Events()
+	if len(evs) != 15 {
+		t.Fatalf("events = %d, want 15", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of time order at %d: %v after %v", i, evs[i].At, evs[i-1].At)
+		}
+	}
+	// Within each second the original interleaving survives the merge.
+	for i := 0; i < 5; i++ {
+		w := evs[3*i : 3*i+3]
+		if w[0].Kind != KindDelivered || w[0].Server != "apache" ||
+			w[1].Kind != KindDropped ||
+			w[2].Kind != KindDelivered || w[2].Server != "tomcat" {
+			t.Fatalf("window %d interleaving = %+v", i, w)
+		}
+	}
+}
+
+// TestCappedLogDeterministicSampling pins that two capped logs fed the
+// same stream with the same seed retain identical exemplars — the
+// property that keeps traced runs byte-identical across repeats.
+func TestCappedLogDeterministicSampling(t *testing.T) {
+	build := func() []Event {
+		sim := des.NewSimulator(1)
+		log := NewCappedLog(sim, 99, 8)
+		call := &simnet.Call{}
+		for i := 0; i < 400; i++ {
+			log.Delivered("apache", call)
+		}
+		return log.Events()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("exemplar %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCappedLogZeroCapacityFallsBack pins the capacity<=0 escape hatch.
+func TestCappedLogZeroCapacityFallsBack(t *testing.T) {
+	sim := des.NewSimulator(1)
+	log := NewCappedLog(sim, 1, 0)
+	if log.Capped() {
+		t.Fatal("capacity 0 must fall back to an uncapped log")
+	}
+	call := &simnet.Call{}
+	for i := 0; i < 100; i++ {
+		log.Delivered("apache", call)
+	}
+	if got := len(log.Events()); got != 100 {
+		t.Fatalf("uncapped fallback retained %d events, want 100", got)
+	}
+}
+
+// TestCappedLogAnalyzerSeesAllDrops checks the analysis-layer contract:
+// the CTQO analyzer's drop correlation runs on the exact drop set even
+// when delivered events are sampled away.
+func TestCappedLogAnalyzerSeesAllDrops(t *testing.T) {
+	sim := des.NewSimulator(1)
+	log := NewCappedLog(sim, 5, 2)
+	call := &simnet.Call{}
+	for i := 0; i < 50; i++ {
+		log.Delivered("apache", call)
+	}
+	for i := 0; i < 7; i++ {
+		log.Dropped("apache", call)
+	}
+	mon := metrics.NewMonitor(sim, 50*time.Millisecond)
+	a := &Analyzer{Tiers: []string{"apache"}, TierOfVM: map[string]string{}}
+	report := a.Analyze(mon, nil, log)
+	if report.TotalDrops != 7 {
+		t.Fatalf("TotalDrops = %d, want 7 (drops are never sampled)", report.TotalDrops)
+	}
+}
