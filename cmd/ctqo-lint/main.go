@@ -1,7 +1,9 @@
-// Command ctqo-lint runs the repo's determinism analyzers — wallclock,
-// seededrand, maporder, nilsafe, sharedmut, exhaustive, chanselect —
-// over the given packages. It is the mechanical enforcement of
-// DESIGN.md's determinism contract and runs in CI next to go vet.
+// Command ctqo-lint runs the repo's ten analyzers — the determinism
+// family (wallclock, seededrand, maporder, nilsafe, sharedmut,
+// exhaustive, chanselect) and the hot-path allocation family (allocs,
+// hotpath, deferloop) — over the given packages. It is the mechanical
+// enforcement of DESIGN.md's determinism contract (§§1–11) and hot-path
+// allocation contract (§12), and runs in CI next to go vet.
 //
 // Usage:
 //
@@ -17,9 +19,13 @@
 // <reason>" comment on the flagged line or the line above it.
 //
 // The requested packages' whole local dependency closure is analyzed, in
-// dependency order, so facts-based analyzers (sharedmut, exhaustive) see
-// the summaries their dependencies exported; findings are reported only
-// for the requested packages.
+// dependency order, so facts-based analyzers (sharedmut, exhaustive,
+// allocs/hotpath) see the summaries their dependencies exported;
+// findings are reported only for the requested packages. Disabling an
+// analyzer another one requires (e.g. -allocs=false with hotpath on)
+// still runs it for its facts — only its diagnostics are dropped. With
+// -json, hotpath findings carry a "chain" array tracing the call path
+// from the annotated function down to the allocating construct.
 //
 // -benchout FILE records the run's wall clock (load + analysis, all
 // analyzers) under the "lint" key of the keyed benchmark file FILE, in

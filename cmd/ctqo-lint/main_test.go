@@ -199,11 +199,15 @@ func TestRunBenchout(t *testing.T) {
 }
 
 // TestRunRepoIsClean pins the audited state of this repository: the
-// linter — all seven analyzers, including the facts-propagating
+// linter — all ten analyzers, including the facts-propagating
 // sharedmut and the exhaustive and chanselect checks added with it —
 // over the real module must exit 0. A regression that reintroduces
 // wall-clock reads, unseeded randomness, a shared-Config write or a
 // member-dropping enum switch fails here, not just in CI.
+//
+// TestRepoCleanHotpath below re-checks with only the performance family
+// enabled, so a hot-path regression is attributed to the right family
+// even when a determinism analyzer also fires.
 func TestRunRepoIsClean(t *testing.T) {
 	wd, err := os.Getwd()
 	if err != nil {
@@ -218,5 +222,75 @@ func TestRunRepoIsClean(t *testing.T) {
 	})
 	if code != 0 {
 		t.Fatalf("ctqo-lint over the repo = %d, want 0; findings:\n%s", code, out)
+	}
+}
+
+// TestRepoCleanHotpath pins the hot-path allocation contract over the
+// real module with only the performance family enabled: every
+// //lint:hotpath annotation in the DES kernel, the simnet delivery
+// path, the HDR record path and the disabled-tracer path must verify
+// allocation-free (or within budget) statically. The dynamic half of
+// the contract is hotpath_contract_test.go at the repo root.
+func TestRepoCleanHotpath(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/ctqo-lint -> repo root
+	args := []string{
+		"-wallclock=false", "-seededrand=false", "-maporder=false",
+		"-nilsafe=false", "-sharedmut=false", "-exhaustive=false",
+		"-chanselect=false",
+		"./...",
+	}
+	var code int
+	out := captureStdout(t, func() {
+		inDir(t, root, func() {
+			code = run(args)
+		})
+	})
+	if code != 0 {
+		t.Fatalf("hot-path lint over the repo = %d, want 0; findings:\n%s", code, out)
+	}
+}
+
+// TestRunJSONChain pins the CLI end of the chain contract: a hotpath
+// finding whose allocation happens in a callee carries the rendered
+// call chain in the -json output.
+func TestRunJSONChain(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmphot\n\ngo 1.22\n",
+		"a.go": `package a
+
+//lint:hotpath
+func Hot() map[string]int { return helper() }
+
+func helper() map[string]int { return make(map[string]int) }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var code int
+	out := captureStdout(t, func() {
+		inDir(t, dir, func() {
+			code = run([]string{"-json", "./..."})
+		})
+	})
+	if code != 1 {
+		t.Fatalf("run() = %d, want 1 (hotpath finding); output:\n%s", code, out)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "hotpath" {
+		t.Fatalf("findings = %+v, want exactly one hotpath finding", findings)
+	}
+	if len(findings[0].Chain) != 1 {
+		t.Fatalf("finding chain = %q, want one entry (the helper's make)", findings[0].Chain)
 	}
 }

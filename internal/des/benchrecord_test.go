@@ -1,0 +1,38 @@
+package des
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"ctqosim/internal/benchrec"
+)
+
+// TestEventLoopBenchRecord runs the EventLoop benchmark pair and writes
+// the before/after comparison under the "event_loop" key of the keyed
+// benchmark file named by CTQO_BENCHOUT (BENCH_parallel.json in CI).
+// Without the variable it skips, so ordinary test runs stay fast.
+func TestEventLoopBenchRecord(t *testing.T) {
+	path := os.Getenv("CTQO_BENCHOUT")
+	if path == "" {
+		t.Skip("set CTQO_BENCHOUT to record the event-loop benchmark")
+	}
+	sched := testing.Benchmark(BenchmarkEventLoopSchedule)
+	post := testing.Benchmark(BenchmarkEventLoopPost)
+	record := map[string]any{
+		"benchmark":              "des-event-loop",
+		"cpus":                   runtime.NumCPU(),
+		"schedule_ns_per_op":     sched.NsPerOp(),
+		"schedule_allocs_per_op": sched.AllocsPerOp(),
+		"schedule_bytes_per_op":  sched.AllocedBytesPerOp(),
+		"post_ns_per_op":         post.NsPerOp(),
+		"post_allocs_per_op":     post.AllocsPerOp(),
+		"post_bytes_per_op":      post.AllocedBytesPerOp(),
+		"speedup":                float64(sched.NsPerOp()) / float64(post.NsPerOp()),
+	}
+	if err := benchrec.Update(path, "event_loop", record); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("event_loop: schedule %d ns/op %d allocs/op -> post %d ns/op %d allocs/op",
+		sched.NsPerOp(), sched.AllocsPerOp(), post.NsPerOp(), post.AllocsPerOp())
+}

@@ -1,0 +1,135 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// freeLen counts the events sitting on the simulator's freelist.
+func freeLen(s *Simulator) int {
+	n := 0
+	for e := s.free; e != nil; e = e.nextFree {
+		n++
+	}
+	return n
+}
+
+func TestPostFires(t *testing.T) {
+	sim := NewSimulator(1)
+	var got string
+	var at time.Duration
+	sim.Post(5*time.Millisecond, func(a0, a1 any) {
+		got = a0.(string) + a1.(string)
+		at = sim.Now()
+	}, "hello ", "world")
+	for sim.Step() {
+	}
+	if got != "hello world" {
+		t.Errorf("posted args = %q, want %q", got, "hello world")
+	}
+	if at != 5*time.Millisecond {
+		t.Errorf("fired at %v, want 5ms", at)
+	}
+}
+
+func TestPostClamping(t *testing.T) {
+	sim := NewSimulator(1)
+	var fired []time.Duration
+	note := func(a0, a1 any) { fired = append(fired, sim.Now()) }
+	sim.Post(time.Millisecond, func(a0, a1 any) {
+		// From inside an event: negative delays and past absolute times
+		// both clamp to now, like Schedule/ScheduleAt.
+		sim.Post(-time.Second, note, nil, nil)
+		sim.PostAt(0, note, nil, nil)
+	}, nil, nil)
+	for sim.Step() {
+	}
+	if len(fired) != 2 || fired[0] != time.Millisecond || fired[1] != time.Millisecond {
+		t.Errorf("clamped posts fired at %v, want both at 1ms", fired)
+	}
+}
+
+// TestPostScheduleSharedSeq pins the ordering contract: pooled and
+// heap-allocated events share one (time, seq) sequence, so simultaneous
+// events run in scheduling order regardless of which API created them.
+func TestPostScheduleSharedSeq(t *testing.T) {
+	sim := NewSimulator(1)
+	var order []int
+	sim.Post(time.Millisecond, func(a0, a1 any) { order = append(order, 0) }, nil, nil)
+	sim.Schedule(time.Millisecond, func() { order = append(order, 1) })
+	sim.Post(time.Millisecond, func(a0, a1 any) { order = append(order, 2) }, nil, nil)
+	for sim.Step() {
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("simultaneous Post/Schedule order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestPostFreelistReuse pins the pool mechanics: fired events land on
+// the freelist and the next Post takes from it instead of allocating.
+func TestPostFreelistReuse(t *testing.T) {
+	sim := NewSimulator(1)
+	nop := func(a0, a1 any) {}
+	for i := 0; i < 3; i++ {
+		sim.Post(time.Duration(i)*time.Microsecond, nop, nil, nil)
+	}
+	for sim.Step() {
+	}
+	if n := freeLen(sim); n != 3 {
+		t.Fatalf("freelist after draining 3 posts = %d events, want 3", n)
+	}
+	sim.Post(time.Microsecond, nop, nil, nil)
+	if n := freeLen(sim); n != 2 {
+		t.Errorf("freelist after reusing one slot = %d events, want 2", n)
+	}
+	for sim.Step() {
+	}
+	if n := freeLen(sim); n != 3 {
+		t.Errorf("freelist after re-draining = %d events, want 3", n)
+	}
+}
+
+// TestPostReleaseBeforeFire pins that the slot is recycled before the
+// callback runs: a self-rescheduling event chain reuses one Event
+// object forever instead of growing the pool.
+func TestPostReleaseBeforeFire(t *testing.T) {
+	sim := NewSimulator(1)
+	count := 0
+	var hop func(a0, a1 any)
+	hop = func(a0, a1 any) {
+		if count++; count < 100 {
+			sim.Post(time.Microsecond, hop, nil, nil)
+		}
+	}
+	sim.Post(0, hop, nil, nil)
+	for sim.Step() {
+	}
+	if count != 100 {
+		t.Fatalf("chain fired %d times, want 100", count)
+	}
+	if n := freeLen(sim); n != 1 {
+		t.Errorf("self-rescheduling chain grew the pool to %d events, want 1", n)
+	}
+}
+
+// TestPostZeroAllocSteadyState is the dynamic half of the hot-path
+// contract for the kernel: once the pool and the heap's backing array
+// are warm, Post+Step allocates nothing. The arguments are pointers —
+// boxing a non-pointer value into the any parameters would allocate at
+// the caller, which is exactly what the allocs analyzer flags there.
+func TestPostZeroAllocSteadyState(t *testing.T) {
+	sim := NewSimulator(1)
+	nop := func(a0, a1 any) {}
+	for i := 0; i < 64; i++ {
+		sim.Post(time.Duration(i)*time.Microsecond, nop, sim, nil)
+	}
+	for sim.Step() {
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sim.Post(time.Microsecond, nop, sim, nil)
+		sim.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("warm Post+Step allocates %.1f objects per op, want 0", allocs)
+	}
+}

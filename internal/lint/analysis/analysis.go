@@ -15,6 +15,7 @@ import (
 	"go/token"
 	"go/types"
 	"reflect"
+	"sort"
 )
 
 // Analyzer describes one static check.
@@ -24,14 +25,44 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph help text; its first line is the summary.
 	Doc string
+	// Requires lists analyzers that must run before this one on every
+	// package, because this analyzer consumes facts they export (e.g.
+	// hotpath reads the AllocsFact summaries the allocs analyzer
+	// computes). Drivers expand the requirement closure with Expand;
+	// required analyzers pulled in only as dependencies run for their
+	// facts and have their diagnostics discarded.
+	Requires []*Analyzer
 	// FactTypes lists the fact types the analyzer exports and imports,
 	// one (typed, possibly nil) pointer value per type. An analyzer may
-	// only export facts whose type appears here.
+	// only export or import facts whose type appears here.
 	FactTypes []Fact
 	// Run applies the check to a single package and reports diagnostics
 	// through pass.Report. The returned value is ignored by this driver
 	// (kept in the signature for go/analysis compatibility).
 	Run func(*Pass) (any, error)
+}
+
+// Expand returns the analyzers plus their transitive requirements in a
+// deterministic order with every requirement before its dependents.
+// Duplicates are dropped (first visit wins).
+func Expand(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	seen := make(map[*Analyzer]bool)
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
 }
 
 // Pass hands an Analyzer one type-checked package.
@@ -62,8 +93,12 @@ type Pass struct {
 // the package that declares it, and reads back when analyzing dependent
 // packages — the cross-package channel of the facts mechanism, modeled on
 // golang.org/x/tools/go/analysis facts. A fact type must be a pointer to
-// a struct and carry the AFact marker method. Facts are namespaced per
-// analyzer: two analyzers' facts never collide, even on the same object.
+// a struct and carry the AFact marker method. Facts are namespaced by
+// their Go type: two analyzers using distinct fact types never collide,
+// while declaring the same fact type in both FactTypes lists is the
+// deliberate cross-analyzer channel (hotpath imports the AllocsFact
+// summaries the allocs analyzer exports). Access is gated by FactTypes:
+// an analyzer can only touch fact types it declares.
 //
 // Object identity is what threads facts across packages: the driver loads
 // packages in dependency order and reuses each loaded package as the
@@ -77,15 +112,47 @@ type Store struct {
 	m map[storeKey]Fact
 }
 
-// storeKey namespaces a fact by analyzer, annotated object and fact type.
+// storeKey namespaces a fact by annotated object and fact type. The
+// analyzer name is deliberately not part of the key: the fact type is the
+// namespace, so analyzers that declare a shared fact type see each
+// other's exports (the allocs→hotpath channel).
 type storeKey struct {
-	analyzer string
-	obj      types.Object
-	typ      reflect.Type
+	obj types.Object
+	typ reflect.Type
 }
 
 // NewStore returns an empty fact store.
 func NewStore() *Store { return &Store{m: make(map[storeKey]Fact)} }
+
+// Entry is one stored (object, fact) pair.
+type Entry struct {
+	Obj  types.Object
+	Fact Fact
+}
+
+// Entries returns the store's contents sorted by object position, object
+// name, then fact type name — a deterministic enumeration for tests and
+// fixture fact expectations.
+func (s *Store) Entries() []Entry {
+	if s == nil {
+		return nil
+	}
+	out := make([]Entry, 0, len(s.m))
+	for k, f := range s.m {
+		out = append(out, Entry{Obj: k.obj, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Obj.Pos() != b.Obj.Pos() {
+			return a.Obj.Pos() < b.Obj.Pos()
+		}
+		if a.Obj.Name() != b.Obj.Name() {
+			return a.Obj.Name() < b.Obj.Name()
+		}
+		return reflect.TypeOf(a.Fact).String() < reflect.TypeOf(b.Fact).String()
+	})
+	return out
+}
 
 // factType validates that fact is a non-nil pointer to a struct and
 // returns its reflect type.
@@ -106,7 +173,7 @@ func (p *Pass) key(obj types.Object, fact Fact) storeKey {
 	t := factType(fact)
 	for _, ft := range p.Analyzer.FactTypes {
 		if reflect.TypeOf(ft) == t {
-			return storeKey{analyzer: p.Analyzer.Name, obj: obj, typ: t}
+			return storeKey{obj: obj, typ: t}
 		}
 	}
 	panic(fmt.Sprintf("%s: fact type %v not declared in FactTypes", p.Analyzer.Name, t))
@@ -122,8 +189,8 @@ func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
 }
 
 // ImportObjectFact copies the fact of fact's type previously exported on
-// obj (by this analyzer, in this package or a dependency) into *fact and
-// reports whether one existed.
+// obj (by any analyzer declaring that type, in this package or a
+// dependency) into *fact and reports whether one existed.
 func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
 	if p.Facts == nil {
 		return false
@@ -147,4 +214,9 @@ type Diagnostic struct {
 	Pos token.Pos
 	// Message is the human-readable description.
 	Message string
+	// Chain optionally traces the finding through intermediate calls down
+	// to the root cause (the hotpath analyzer reports the call chain from
+	// an annotated function to the allocating construct). Each entry is a
+	// pre-rendered "func: what (file:line)" step.
+	Chain []string
 }

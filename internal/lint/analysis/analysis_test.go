@@ -64,7 +64,7 @@ func TestStoreExportImportRoundTrip(t *testing.T) {
 	}
 }
 
-func TestStoreNamespacing(t *testing.T) {
+func TestStoreFactTypeKeying(t *testing.T) {
 	store := NewStore()
 	obj := testObj("x")
 	a := newTestPass("a", store)
@@ -72,12 +72,14 @@ func TestStoreNamespacing(t *testing.T) {
 
 	a.ExportObjectFact(obj, &testFact{N: 1})
 
-	// Same object, different analyzer: invisible.
+	// The fact type is the namespace: a second analyzer that declares the
+	// same fact type sees the first's export. This is the deliberate
+	// cross-analyzer channel (hotpath imports allocs' AllocsFact).
 	var got testFact
-	if b.ImportObjectFact(obj, &got) {
-		t.Error("analyzer b sees analyzer a's fact")
+	if !b.ImportObjectFact(obj, &got) || got.N != 1 {
+		t.Error("analyzer b cannot see analyzer a's fact of a shared declared type")
 	}
-	// Same object and analyzer, different fact type: invisible.
+	// Same object, different fact type: invisible.
 	var other otherFact
 	if a.ImportObjectFact(obj, &other) {
 		t.Error("testFact visible through an otherFact import")
@@ -85,6 +87,47 @@ func TestStoreNamespacing(t *testing.T) {
 	// Different object: invisible.
 	if a.ImportObjectFact(testObj("y"), &got) {
 		t.Error("fact leaked to a different object")
+	}
+}
+
+func TestStoreEntriesDeterministic(t *testing.T) {
+	store := NewStore()
+	pass := newTestPass("a", store)
+	x, y := testObj("x"), testObj("y")
+	pass.ExportObjectFact(y, &testFact{N: 2})
+	pass.ExportObjectFact(x, &testFact{N: 1})
+	pass.ExportObjectFact(x, &otherFact{N: 3})
+
+	entries := store.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("Entries returned %d entries, want 3", len(entries))
+	}
+	wantNames := []string{"x", "x", "y"}
+	for i, e := range entries {
+		if e.Obj.Name() != wantNames[i] {
+			t.Errorf("entry %d on object %s, want %s", i, e.Obj.Name(), wantNames[i])
+		}
+	}
+	// x's two facts sort by type name: otherFact before testFact.
+	if _, ok := entries[0].Fact.(*otherFact); !ok {
+		t.Errorf("entry 0 fact is %T, want *otherFact", entries[0].Fact)
+	}
+}
+
+func TestExpandRequires(t *testing.T) {
+	base := &Analyzer{Name: "base"}
+	mid := &Analyzer{Name: "mid", Requires: []*Analyzer{base}}
+	top := &Analyzer{Name: "top", Requires: []*Analyzer{mid, base}}
+
+	got := Expand([]*Analyzer{top, base})
+	want := []string{"base", "mid", "top"}
+	if len(got) != len(want) {
+		t.Fatalf("Expand returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Expand[%d] = %s, want %s", i, a.Name, want[i])
+		}
 	}
 }
 

@@ -8,11 +8,29 @@
 //	time.Now() // want `wall-clock`
 //	foo()      // want "first" "second"
 //
+// A directive comment can carry its expectation inline after a second
+// "//" (the only way to attach a want to a line that is itself one
+// comment): //lint:hotpath allocs=x // want `malformed`
+//
 // Each expectation is a regular expression that must match the message of
 // exactly one diagnostic reported on that line; diagnostics with no
 // matching expectation, and expectations with no matching diagnostic,
 // both fail the test. //lint:allow suppression is applied before
 // matching, so fixtures can also demonstrate the escape hatch.
+//
+// A clause of the form name:"regexp" is a fact expectation instead: the
+// object called name declared on that line must carry an exported fact
+// whose fmt.Sprint matches the pattern (the x/tools convention, used by
+// the allocs fixtures to pin AllocsFact summaries):
+//
+//	func Grow(s []int) []int { // want Grow:`allocs\(append may grow\)`
+//
+// Unclaimed fact expectations fail the test; facts without expectations
+// are ignored (facts are internal currency — most fixtures care only
+// about the diagnostics they feed).
+//
+// The analyzer's Requires closure runs with it, sharing the fact store,
+// so fixtures for fact-consuming analyzers (hotpath) work unmodified.
 package analysistest
 
 import (
@@ -28,16 +46,19 @@ import (
 	"ctqosim/internal/lint/loader"
 )
 
-// expectation is one parsed "// want" clause.
+// expectation is one parsed "// want" clause. A non-empty obj makes it a
+// fact expectation (name:"pattern") instead of a diagnostic one.
 type expectation struct {
 	file    string
 	line    int
+	obj     string
 	re      *regexp.Regexp
 	matched bool
 }
 
-// wantRx matches the quoted patterns after a "want" keyword.
-var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+// wantRx matches the clauses after a "want" keyword: an optional
+// "name:" prefix followed by a quoted pattern.
+var wantRx = regexp.MustCompile("(?:([A-Za-z_][A-Za-z0-9_]*):)?(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 
 // parseWants extracts expectations from a file's comments.
 func parseWants(t *testing.T, l *loader.Loader, file *ast.File) []expectation {
@@ -49,10 +70,19 @@ func parseWants(t *testing.T, l *loader.Loader, file *ast.File) []expectation {
 			text = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "/*"))
 			rest, ok := strings.CutPrefix(text, "want ")
 			if !ok {
+				// Inline form: a directive comment may carry its own
+				// expectation after a second "//", e.g.
+				// "//lint:hotpath allocs=x // want `malformed`".
+				if i := strings.Index(c.Text, "// want "); i > 0 {
+					rest, ok = c.Text[i+len("// want "):], true
+				}
+			}
+			if !ok {
 				continue
 			}
 			pos := l.Fset.Position(c.Pos())
-			for _, q := range wantRx.FindAllString(rest, -1) {
+			for _, m := range wantRx.FindAllStringSubmatch(rest, -1) {
+				name, q := m[1], m[2]
 				pat := q
 				if strings.HasPrefix(q, "\"") {
 					u, err := strconv.Unquote(q)
@@ -67,7 +97,7 @@ func parseWants(t *testing.T, l *loader.Loader, file *ast.File) []expectation {
 				if err != nil {
 					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
 				}
-				out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+				out = append(out, expectation{file: pos.Filename, line: pos.Line, obj: name, re: re})
 			}
 		}
 	}
@@ -81,13 +111,13 @@ func parseWants(t *testing.T, l *loader.Loader, file *ast.File) []expectation {
 // and returns the subject package with the analyzer's findings on it
 // (diagnostics in dependency packages are discarded). A nil package
 // means loading failed; errors are reported through t.
-func analyzeWithDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, path string) (*loader.Loader, *loader.Package, []lint.Finding) {
+func analyzeWithDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, path string) (*loader.Loader, *loader.Package, []lint.Finding, *analysis.Store) {
 	t.Helper()
 	l := loader.New("", "", srcRoot)
 	order, err := l.Closure([]string{path})
 	if err != nil {
 		t.Errorf("closure %s: %v", path, err)
-		return l, nil, nil
+		return l, nil, nil, nil
 	}
 	facts := analysis.NewStore()
 	var subject *loader.Package
@@ -96,7 +126,7 @@ func analyzeWithDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, path st
 		pkg, err := l.Load(p)
 		if err != nil {
 			t.Errorf("load %s: %v", p, err)
-			return l, nil, nil
+			return l, nil, nil, nil
 		}
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", p, terr)
@@ -104,13 +134,13 @@ func analyzeWithDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, path st
 		fs, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "", facts)
 		if err != nil {
 			t.Errorf("run %s on %s: %v", a.Name, p, err)
-			return l, nil, nil
+			return l, nil, nil, nil
 		}
 		if p == path {
 			subject, findings = pkg, fs
 		}
 	}
-	return l, subject, findings
+	return l, subject, findings, facts
 }
 
 // Run loads each fixture package from testdata/src/<path> (with its
@@ -121,7 +151,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	srcRoot := testdata + "/src"
 	for _, path := range paths {
-		l, pkg, findings := analyzeWithDeps(t, srcRoot, a, path)
+		l, pkg, findings, facts := analyzeWithDeps(t, srcRoot, a, path)
 		if pkg == nil {
 			continue
 		}
@@ -136,10 +166,41 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 				t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
 			}
 		}
+		claimFacts(l, facts, wants)
 		for _, w := range wants {
-			if !w.matched {
+			if w.matched {
+				continue
+			}
+			if w.obj != "" {
+				t.Errorf("%s: expected fact on %s at %s:%d matching %q, got none",
+					a.Name, w.obj, w.file, w.line, w.re)
+			} else {
 				t.Errorf("%s: expected diagnostic at %s:%d matching %q, got none",
 					a.Name, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claimFacts matches fact expectations against the store: the object must
+// be named by the clause, declared on the expectation's line, and carry a
+// fact whose fmt.Sprint matches.
+func claimFacts(l *loader.Loader, facts *analysis.Store, wants []expectation) {
+	if facts == nil {
+		return
+	}
+	for _, e := range facts.Entries() {
+		pos := l.Fset.Position(e.Obj.Pos())
+		rendered := fmt.Sprint(e.Fact)
+		for i := range wants {
+			w := &wants[i]
+			if w.matched || w.obj == "" || w.obj != e.Obj.Name() ||
+				w.line != pos.Line || w.file != pos.Filename {
+				continue
+			}
+			if w.re.MatchString(rendered) {
+				w.matched = true
+				break
 			}
 		}
 	}
@@ -150,7 +211,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 func claim(wants []expectation, f lint.Finding) bool {
 	for i := range wants {
 		w := &wants[i]
-		if w.matched || w.line != f.Line || w.file != f.File {
+		if w.matched || w.obj != "" || w.line != f.Line || w.file != f.File {
 			continue
 		}
 		if w.re.MatchString(f.Message) {
@@ -166,7 +227,7 @@ func claim(wants []expectation, f lint.Finding) bool {
 func RunExpectClean(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	for _, path := range paths {
-		_, pkg, findings := analyzeWithDeps(t, testdata+"/src", a, path)
+		_, pkg, findings, _ := analyzeWithDeps(t, testdata+"/src", a, path)
 		if pkg == nil {
 			continue
 		}

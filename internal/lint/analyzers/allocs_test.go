@@ -1,0 +1,15 @@
+package analyzers
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+)
+
+// TestAllocs pins the per-construct classification through fact
+// expectations: allocs reports no diagnostics, so the fixture asserts
+// the AllocsFact summaries themselves (including the transitive and
+// the //lint:allow-suppressed cases).
+func TestAllocs(t *testing.T) {
+	analysistest.Run(t, "testdata", Allocs, "allocs/a")
+}

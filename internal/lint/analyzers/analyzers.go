@@ -1,11 +1,16 @@
 // Package analyzers holds the ctqo-lint checks that keep the simulator
-// reproducible: no wall-clock reads in simulated-time packages, no global
-// (or time-seeded) math/rand, no order-dependent map iteration feeding
-// reports, nil-safe tracer methods so disabled tracing stays free, no
-// writes through shared Config pointer fields or captured state in
-// worker-run closures (sharedmut, a cross-package facts analysis), no
-// enum switches that silently drop members (exhaustive), and no
-// multi-case selects in sim-time packages (chanselect).
+// reproducible and fast: no wall-clock reads in simulated-time packages,
+// no global (or time-seeded) math/rand, no order-dependent map iteration
+// feeding reports, nil-safe tracer methods so disabled tracing stays
+// free, no writes through shared Config pointer fields or captured state
+// in worker-run closures (sharedmut, a cross-package facts analysis), no
+// enum switches that silently drop members (exhaustive), no multi-case
+// selects in sim-time packages (chanselect) — plus the performance
+// family enforcing the hot-path allocation contract (DESIGN.md §12):
+// allocs (bottom-up cross-package AllocsFact summaries), hotpath
+// (//lint:hotpath functions must have an allocation-free transitive call
+// graph, within an optional allocs=N budget) and deferloop (no defer or
+// named-return closures in hot loops).
 //
 // The checks encode the repo's determinism contract (see DESIGN.md):
 // the paper's CTQO results are only reproducible if a fixed seed replays
@@ -21,11 +26,14 @@ import (
 	"ctqosim/internal/lint/analysis"
 )
 
-// All returns the full suite in stable order.
+// All returns the full suite in stable order. Allocs precedes Hotpath so
+// same-package facts are exported before the annotations are checked
+// (drivers also honour Hotpath's Requires when the list is filtered).
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Wallclock, Seededrand, Maporder, Nilsafe,
 		Sharedmut, Exhaustive, Chanselect,
+		Allocs, Hotpath, Deferloop,
 	}
 }
 

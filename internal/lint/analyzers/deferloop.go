@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// Deferloop flags two loop patterns inside //lint:hotpath functions that
+// defeat the zero-allocation contract in ways the allocs summary cannot
+// price: defer statements in loops (each iteration heap-allocates a
+// deferred frame that only runs at function return — the open-coded
+// defer optimization does not apply inside loops) and closures over
+// named return values created in loops (each iteration allocates a
+// closure capturing the result slot). It reads the annotations itself so
+// it stays meaningful even when the allocs/hotpath pair is disabled.
+var Deferloop = &analysis.Analyzer{
+	Name: "deferloop",
+	Doc: "flag defer statements and named-return-capturing closures " +
+		"inside loops of //lint:hotpath functions",
+	Run: runDeferloop,
+}
+
+func runDeferloop(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		_, fileHot := hotpathFromSilentDoc(f.Doc)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := hotpathFromSilentDoc(fd.Doc); !hot && !fileHot {
+				continue
+			}
+			checkDeferLoops(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// hotpathFromSilentDoc is hotpathFromDoc without diagnostics: malformed
+// directives are hotpath's to report, but they still mark the function
+// hot for this check.
+func hotpathFromSilentDoc(doc *ast.CommentGroup) (hotpathSpec, bool) {
+	if doc == nil {
+		return hotpathSpec{}, false
+	}
+	for _, c := range doc.List {
+		isDirective, budget, err := parseHotpathDirective(c.Text)
+		if isDirective {
+			if err != nil {
+				return hotpathSpec{}, true
+			}
+			return hotpathSpec{budget: budget}, true
+		}
+	}
+	return hotpathSpec{}, false
+}
+
+// checkDeferLoops walks one hot function's body tracking loop depth.
+// Descending into a nested FuncLit resets the depth: its body runs when
+// the closure is called, not per loop iteration (the closure allocation
+// itself is the allocs analyzer's finding).
+func checkDeferLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	named := namedResults(pass, fd)
+	var walk func(n ast.Node, inLoop bool) bool
+	walk = func(n ast.Node, inLoop bool) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			ast.Inspect(loopBody(n), func(m ast.Node) bool { return walk(m, true) })
+			return false
+		case *ast.FuncLit:
+			if inLoop && capturesAny(pass, n, named) {
+				pass.Reportf(n.Pos(),
+					"closure over named return value inside a loop of //lint:hotpath function %s: each iteration allocates",
+					fd.Name.Name)
+			}
+			return false // fresh defer/loop context inside the literal
+		case *ast.DeferStmt:
+			if inLoop {
+				pass.Reportf(n.Pos(),
+					"defer inside a loop of //lint:hotpath function %s: each iteration heap-allocates a deferred frame that only runs at return",
+					fd.Name.Name)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool { return walk(n, false) })
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// namedResults collects the objects of the function's named results.
+func namedResults(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// capturesAny reports whether the literal references one of the objects.
+func capturesAny(pass *analysis.Pass, lit *ast.FuncLit, objs map[types.Object]bool) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && objs[pass.TypesInfo.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package analyzers
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+)
+
+func TestDeferloop(t *testing.T) {
+	analysistest.Run(t, "testdata", Deferloop, "deferloop/flagged")
+}
+
+func TestDeferloopAllowed(t *testing.T) {
+	analysistest.RunExpectClean(t, "testdata", Deferloop, "deferloop/allowed")
+}

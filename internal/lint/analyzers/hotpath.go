@@ -1,0 +1,140 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"go/types"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// hotpathDirective is the annotation demanding an allocation-free
+// transitive call graph: "//lint:hotpath [allocs=N] [reason]" on a
+// function's doc comment (that function) or a file's package doc (every
+// function in the file). The optional allocs=N grants a budget of N
+// static allocation sites; the default budget is zero.
+const hotpathDirective = "//lint:hotpath"
+
+// hotpathSpec is one parsed annotation.
+type hotpathSpec struct {
+	budget int
+}
+
+// parseHotpathDirective parses one comment line. ok reports whether the
+// comment is a hotpath directive at all; err is non-nil when it is one
+// but malformed (unknown key=value, or a non-numeric/negative budget).
+func parseHotpathDirective(text string) (ok bool, budget int, err error) {
+	rest, found := strings.CutPrefix(text, hotpathDirective)
+	if !found {
+		return false, 0, nil
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return false, 0, nil // e.g. //lint:hotpathX — a different word
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return true, 0, nil
+	}
+	first := fields[0]
+	if k, v, isKV := strings.Cut(first, "="); isKV {
+		if k != "allocs" {
+			return true, 0, fmt.Errorf("unknown %s key %q (only allocs=N)", hotpathDirective, k)
+		}
+		n, convErr := strconv.Atoi(v)
+		if convErr != nil || n < 0 {
+			return true, 0, fmt.Errorf("%s allocs=%q: budget must be a non-negative integer", hotpathDirective, v)
+		}
+		return true, n, nil
+	}
+	return true, 0, nil // first field starts the free-form reason
+}
+
+// Hotpath enforces //lint:hotpath annotations: an annotated function's
+// transitive call graph must be allocation-free (or within its allocs=N
+// budget) according to the AllocsFact summaries the allocs analyzer
+// computes. Findings are reported at the annotated declaration and carry
+// the call chain down to the allocating construct. Cold branches are
+// excluded at the source with "//lint:allow allocs <reason>" on the
+// allocating line (see DESIGN.md §12 for the conventions).
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "require an allocation-free transitive call graph for " +
+		"//lint:hotpath functions (budget adjustable with allocs=N), " +
+		"reporting the chain to each allocating construct",
+	Requires:  []*analysis.Analyzer{Allocs},
+	FactTypes: []analysis.Fact{new(AllocsFact)},
+	Run:       runHotpath,
+}
+
+func runHotpath(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		filewide, fileOK := hotpathFromDoc(pass, f.Doc)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			spec, declOK := hotpathFromDoc(pass, fd.Doc)
+			if !declOK {
+				if !fileOK {
+					continue
+				}
+				spec = filewide
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Name.Pos(),
+					"//lint:hotpath on %s, which has no body: the contract needs a call graph to check", fd.Name.Name)
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var fact AllocsFact
+			if !pass.ImportObjectFact(fn, &fact) || len(fact.Sites) <= spec.budget {
+				continue
+			}
+			for _, site := range fact.Sites {
+				msg := fmt.Sprintf("//lint:hotpath function %s allocates: %s (%s:%d)",
+					fd.Name.Name, site.What, site.File, site.Line)
+				if spec.budget > 0 {
+					msg = fmt.Sprintf("%s [budget allocs=%d exceeded: %d sites]",
+						msg, spec.budget, len(fact.Sites))
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos:     fd.Name.Pos(),
+					Message: msg,
+					Chain:   site.Chain,
+				})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hotpathFromDoc scans a doc comment for a hotpath directive, reporting
+// malformed ones as diagnostics. ok is true when a well-formed directive
+// was found.
+func hotpathFromDoc(pass *analysis.Pass, doc *ast.CommentGroup) (hotpathSpec, bool) {
+	if doc == nil {
+		return hotpathSpec{}, false
+	}
+	for _, c := range doc.List {
+		isDirective, budget, err := parseHotpathDirective(c.Text)
+		if !isDirective {
+			continue
+		}
+		if err != nil {
+			pass.Reportf(c.Pos(), "malformed hotpath directive: %v", err)
+			continue
+		}
+		return hotpathSpec{budget: budget}, true
+	}
+	return hotpathSpec{}, false
+}

@@ -1,0 +1,13 @@
+// Package allowed shows the escape hatch: driver-level //lint:allow
+// suppression applies to deferloop like every other analyzer.
+package allowed
+
+import "sync"
+
+//lint:hotpath
+func DrainOnce(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock() //lint:allow deferloop bounded shutdown sweep, not steady-state
+	}
+}

@@ -1,0 +1,63 @@
+// Package flagged exercises the deferloop analyzer: defer statements
+// and named-return-capturing closures inside loops of hot functions.
+package flagged
+
+import "sync"
+
+//lint:hotpath
+func DeferInLoop(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock() // want `defer inside a loop of //lint:hotpath function DeferInLoop`
+	}
+}
+
+//lint:hotpath
+func NamedReturnClosure(xs []int) (total int) {
+	for _, x := range xs {
+		f := func() { // want `closure over named return value inside a loop of //lint:hotpath function NamedReturnClosure`
+			total += x
+		}
+		f()
+	}
+	return total
+}
+
+// The usual lock idiom stays legal: the defer is not in a loop.
+//
+//lint:hotpath allocs=1 closure fixture
+func DeferAtTop(mu *sync.Mutex, xs []int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// A defer inside a function literal runs per literal call, not
+// accumulated until the outer return: fresh context, no finding here
+// (the closure allocation itself is the allocs analyzer's business).
+//
+//lint:hotpath allocs=1 closure fixture
+func DeferInsideLiteral(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		x := x
+		func() {
+			defer recoverNop()
+			sum += x
+		}()
+	}
+	return sum
+}
+
+func recoverNop() { _ = recover() }
+
+// ColdDeferLoop is not annotated: deferloop only polices hot functions.
+func ColdDeferLoop(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		defer mu.Unlock()
+	}
+}

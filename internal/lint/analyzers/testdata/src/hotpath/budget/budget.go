@@ -1,0 +1,30 @@
+// Package budget exercises allocs=N budgets and malformed directives.
+package budget
+
+// Two sites under a budget of two: within contract, no finding.
+//
+//lint:hotpath allocs=2 amortized ring growth
+func Within() ([]int, map[string]int) {
+	s := make([]int, 4)
+	m := make(map[string]int)
+	return s, m
+}
+
+// Two sites over a budget of one: every site is reported, tagged with
+// the exceeded budget so the reader sees the arithmetic.
+//
+//lint:hotpath allocs=1
+func Over() ([]int, map[string]int) { // want `function Over allocates: make slice \(budget\.go:\d+\) \[budget allocs=1 exceeded: 2 sites\]` `function Over allocates: make map \(budget\.go:\d+\) \[budget allocs=1 exceeded: 2 sites\]`
+	s := make([]int, 4)
+	m := make(map[string]int)
+	return s, m
+}
+
+//lint:hotpath allocs=x // want `budget must be a non-negative integer`
+func BadBudget() {}
+
+//lint:hotpath allocs=-1 // want `budget must be a non-negative integer`
+func NegativeBudget() {}
+
+//lint:hotpath frames=0 // want `unknown //lint:hotpath key "frames"`
+func BadKey() {}

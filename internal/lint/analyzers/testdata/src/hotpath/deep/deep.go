@@ -1,0 +1,8 @@
+// Package deep forwards to leaf: one hop above the allocation.
+package deep
+
+import "hotpath/leaf"
+
+func Go() map[string]int {
+	return leaf.Alloc()
+}

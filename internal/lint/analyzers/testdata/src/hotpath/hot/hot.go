@@ -1,0 +1,23 @@
+// Package hot pins the cross-package contract: Run is annotated, the
+// allocation lives three packages below in hotpath/leaf, and the
+// finding's chain walks mid -> deep -> leaf (asserted structurally in
+// TestHotpathChain; the want here only matches the message).
+package hot
+
+import "hotpath/mid"
+
+//lint:hotpath DES kernel fixture
+func Run() map[string]int { // want `lint:hotpath function Run allocates: call to mid\.Step \(hot\.go:`
+	return mid.Step()
+}
+
+//lint:hotpath
+func Clean(a, b int) int {
+	return a + b
+}
+
+// NoBody mimics an assembly stub: there is no call graph to check, so
+// annotating it is itself the mistake.
+//
+//lint:hotpath
+func NoBody() int // want `lint:hotpath on NoBody, which has no body`

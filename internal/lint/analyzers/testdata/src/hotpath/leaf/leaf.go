@@ -1,0 +1,7 @@
+// Package leaf is the bottom of the hotpath fixture chain: the only
+// package that actually allocates.
+package leaf
+
+func Alloc() map[string]int {
+	return make(map[string]int)
+}

@@ -1,0 +1,8 @@
+// Package mid forwards to deep: two hops above the allocation.
+package mid
+
+import "hotpath/deep"
+
+func Step() map[string]int {
+	return deep.Go()
+}

@@ -1,0 +1,21 @@
+// Package pkglevel pins the file-wide form: a directive in the package
+// doc covers every function in the file, and a per-function directive
+// overrides it.
+//
+//lint:hotpath every function in this file is kernel code
+package pkglevel
+
+func Clean(a, b int) int {
+	return a + b
+}
+
+func Dirty() []int { // want `lint:hotpath function Dirty allocates: make slice`
+	return make([]int, 8)
+}
+
+// A per-function budget wins over the file-wide zero budget.
+//
+//lint:hotpath allocs=1 one warm-up allocation
+func Budgeted() []int {
+	return make([]int, 8)
+}

@@ -28,6 +28,10 @@ type Finding struct {
 	Col  int `json:"col"`
 	// Message describes the problem.
 	Message string `json:"message"`
+	// Chain, when present, traces the finding through intermediate calls
+	// to its root cause — the hotpath analyzer's call chain from an
+	// annotated function down to the allocating construct.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -110,10 +114,18 @@ func suppressed(allowed map[string]map[int]map[string]bool, pos token.Position, 
 // for every package of a run (in loader.Closure order) so facts exported
 // by dependency packages are visible here. Nil is accepted for runs that
 // need no cross-package facts.
+//
+// The requirement closure is expanded automatically: an analyzer pulled
+// in only through another's Requires runs for its facts, with its own
+// diagnostics discarded.
 func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Analyzer, relDir string, facts *analysis.Store) ([]Finding, error) {
+	requested := make(map[*analysis.Analyzer]bool, len(analyzers))
+	for _, a := range analyzers {
+		requested[a] = true
+	}
 	allowed := allowedLines(l.Fset, pkg.Files)
 	var out []Finding
-	for _, a := range analyzers {
+	for _, a := range analysis.Expand(analyzers) {
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      l.Fset,
@@ -123,6 +135,9 @@ func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Ana
 			Facts:     facts,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
+			if !requested[a] {
+				return // requirement-only analyzer: facts, not findings
+			}
 			pos := l.Fset.Position(d.Pos)
 			if suppressed(allowed, pos, a.Name) {
 				return
@@ -139,6 +154,7 @@ func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Ana
 				Line:     pos.Line,
 				Col:      pos.Column,
 				Message:  d.Message,
+				Chain:    d.Chain,
 			})
 		}
 		if _, err := a.Run(pass); err != nil {

@@ -27,7 +27,7 @@ func TestSortOrder(t *testing.T) {
 	}
 	Sort(in)
 	for i := range want {
-		if in[i] != want[i] {
+		if in[i].String() != want[i].String() {
 			t.Fatalf("Sort order mismatch at %d:\n got %v\nwant %v", i, in[i], want[i])
 		}
 	}
@@ -67,5 +67,36 @@ func TestWriteJSONByteStable(t *testing.T) {
 `
 	if got := first.String(); got != want {
 		t.Errorf("WriteJSON rendering changed:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestWriteJSONChain pins the chain rendering: hotpath findings carry the
+// allocating call chain, while chainless findings keep the legacy shape
+// (chain omitted entirely, pinned above).
+func TestWriteJSONChain(t *testing.T) {
+	fs := []Finding{{
+		Analyzer: "hotpath", File: "a.go", Line: 3, Col: 7,
+		Message: "//lint:hotpath function F allocates: call to p.G (a.go:9)",
+		Chain:   []string{"p.G: make map (b.go:4)"},
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "analyzer": "hotpath",
+    "file": "a.go",
+    "line": 3,
+    "col": 7,
+    "message": "//lint:hotpath function F allocates: call to p.G (a.go:9)",
+    "chain": [
+      "p.G: make map (b.go:4)"
+    ]
+  }
+]
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON chain rendering changed:\n got %q\nwant %q", got, want)
 	}
 }

@@ -113,6 +113,8 @@ func numBuckets(sigBits int) int {
 }
 
 // bucketIdx maps a non-negative duration to its bucket.
+//
+//lint:hotpath
 func (h *HDRHistogram) bucketIdx(d time.Duration) int {
 	v := uint64(d)
 	b := uint(h.cfg.SigBits)
@@ -148,9 +150,15 @@ func (h *HDRHistogram) representative(idx int) time.Duration {
 }
 
 // Observe adds one duration (negative values clamp to zero).
+//
+//lint:hotpath HDR record path
 func (h *HDRHistogram) Observe(d time.Duration) { h.ObserveN(d, 1) }
 
-// ObserveN adds n copies of a duration.
+// ObserveN adds n copies of a duration. Once spilled (the steady state of
+// any long run) recording is a handful of integer ops into the dense
+// count array and never allocates.
+//
+//lint:hotpath HDR record path
 func (h *HDRHistogram) ObserveN(d time.Duration, n int64) {
 	if n <= 0 {
 		return
@@ -169,7 +177,7 @@ func (h *HDRHistogram) ObserveN(d time.Duration, n int64) {
 	if !h.spilled {
 		if len(h.exact)+int(n) <= h.cfg.ExactCap {
 			for i := int64(0); i < n; i++ {
-				h.exact = append(h.exact, d)
+				h.exact = append(h.exact, d) //lint:allow allocs exact small-run mode, bounded by ExactCap; spills once
 			}
 			return
 		}
@@ -184,7 +192,7 @@ func (h *HDRHistogram) spill() {
 	if h.spilled {
 		return
 	}
-	h.counts = make([]int64, numBuckets(h.cfg.SigBits))
+	h.counts = make([]int64, numBuckets(h.cfg.SigBits)) //lint:allow allocs one-time spill to the fixed dense array
 	for _, v := range h.exact {
 		h.counts[h.bucketIdx(v)]++
 	}

@@ -63,6 +63,12 @@ type Call struct {
 	// parents its queue-wait and service spans under it.
 	Trace  *span.Trace
 	SpanID span.ID
+
+	// dst and retransGap carry per-call delivery state through the pooled
+	// des.Post callbacks, so the transport schedules retransmissions and
+	// latency hops without allocating a capturing closure per event.
+	dst        Admission
+	retransGap span.ID
 }
 
 // Retransmits returns the number of retransmissions (attempts beyond the
@@ -139,16 +145,40 @@ func NewTransport(sim *des.Simulator) *Transport {
 }
 
 // Send attempts delivery of call to dst, retransmitting on drops. The call's
-// FirstSent is stamped on the first attempt.
+// FirstSent is stamped on the first attempt. Delivery and retransmission
+// events ride pooled des.Post events with the *Transport and *Call as the
+// two arguments, so steady-state sending allocates nothing.
+//
+//lint:hotpath simnet delivery path
 func (t *Transport) Send(dst Admission, call *Call) {
 	if call.Attempts == 0 {
 		call.FirstSent = t.sim.Now()
 	}
+	call.dst = dst
 	if t.Latency > 0 {
-		t.sim.Schedule(t.Latency, func() { t.attempt(dst, call) })
+		t.sim.Post(t.Latency, deliverCall, t, call)
 		return
 	}
 	t.attempt(dst, call)
+}
+
+// deliverCall is the pooled-event callback for a latency hop.
+//
+//lint:hotpath simnet delivery path
+func deliverCall(a0, a1 any) {
+	t, call := a0.(*Transport), a1.(*Call)
+	t.attempt(call.dst, call)
+}
+
+// retransmitAttempt is the pooled-event callback for an RTO expiry: it
+// closes the retransmission-gap span and redelivers.
+//
+//lint:hotpath simnet delivery path
+func retransmitAttempt(a0, a1 any) {
+	t, call := a0.(*Transport), a1.(*Call)
+	call.Trace.End(call.retransGap)
+	call.retransGap = 0
+	t.attempt(call.dst, call)
 }
 
 // Stats returns the accumulated counters for a destination. The returned
@@ -180,6 +210,7 @@ func (t *Transport) TotalDrops() int64 {
 	return total
 }
 
+//lint:hotpath simnet delivery path
 func (t *Transport) attempt(dst Admission, call *Call) {
 	s := t.hop(dst.Name())
 	s.Attempts++
@@ -194,7 +225,7 @@ func (t *Transport) attempt(dst Admission, call *Call) {
 	}
 
 	s.Dropped++
-	call.DroppedBy = append(call.DroppedBy, dst.Name())
+	call.DroppedBy = append(call.DroppedBy, dst.Name()) //lint:allow allocs drop path: bounded by MaxAttempts, never on clean delivery
 	if r, ok := call.Payload.(DropRecorder); ok {
 		r.DroppedAt(dst.Name())
 	}
@@ -221,24 +252,24 @@ func (t *Transport) attempt(dst Admission, call *Call) {
 	// own, attributed to the dropping server, closed when the retry fires.
 	gap := call.Trace.Start(span.KindRetransmit, dst.Name(), call.SpanID)
 	if gap != 0 {
-		call.Trace.Annotate(gap, fmt.Sprintf(
+		call.Trace.Annotate(gap, fmt.Sprintf( //lint:allow allocs enabled-tracer annotation on the (already rare) drop path
 			"attempt %d dropped by %s; waiting RTO", call.Attempts, dst.Name()))
 	}
-	t.sim.Schedule(t.timeout(call.Attempts)+t.Latency, func() {
-		call.Trace.End(gap)
-		t.attempt(dst, call)
-	})
+	call.retransGap = gap
+	t.sim.Post(t.timeout(call.Attempts)+t.Latency, retransmitAttempt, t, call)
 }
 
+//lint:hotpath
 func (t *Transport) hop(name string) *HopStats {
 	s, ok := t.stats[name]
 	if !ok {
-		s = &HopStats{}
+		s = &HopStats{} //lint:allow allocs one accumulator per destination, first traffic only
 		t.stats[name] = s
 	}
 	return s
 }
 
+//lint:hotpath
 func (t *Transport) rto() time.Duration {
 	if t.RTO > 0 {
 		return t.RTO
@@ -246,6 +277,7 @@ func (t *Transport) rto() time.Duration {
 	return DefaultRTO
 }
 
+//lint:hotpath
 func (t *Transport) maxAttempts() int {
 	if t.MaxAttempts > 0 {
 		return t.MaxAttempts
@@ -255,6 +287,8 @@ func (t *Transport) maxAttempts() int {
 
 // timeout returns the wait before the next attempt, given the number of
 // attempts already made.
+//
+//lint:hotpath
 func (t *Transport) timeout(attempts int) time.Duration {
 	rto := t.rto()
 	if !t.Backoff {

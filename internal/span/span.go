@@ -135,16 +135,21 @@ func newTrace(now func() time.Duration, reqID uint64, class string) *Trace {
 
 // Enabled reports whether the trace records spans; callers may use it to
 // skip work (e.g. formatting annotations) that only matters when tracing.
+//
+//lint:hotpath
 func (t *Trace) Enabled() bool { return t != nil }
 
 // Start opens a child span of parent and returns its ID. On a nil trace it
-// returns 0 and records nothing.
+// returns 0 and records nothing — the disabled-tracer path is the one the
+// hot-path contract holds allocation-free.
+//
+//lint:hotpath disabled-tracer path must be free
 func (t *Trace) Start(kind Kind, tier string, parent ID) ID {
 	if t == nil {
 		return 0
 	}
 	id := ID(len(t.spans) + 1)
-	t.spans = append(t.spans, Span{
+	t.spans = append(t.spans, Span{ //lint:allow allocs enabled-tracer span; a nil trace records nothing
 		ID: id, Parent: parent, Kind: kind, Tier: tier,
 		Start: t.now(), End: open,
 	})
@@ -153,6 +158,8 @@ func (t *Trace) Start(kind Kind, tier string, parent ID) ID {
 
 // End closes the span. Safe on a nil trace, the zero ID and an already
 // closed span (first close wins).
+//
+//lint:hotpath
 func (t *Trace) End(id ID) {
 	if t == nil || id <= 0 || int(id) > len(t.spans) {
 		return
@@ -163,6 +170,8 @@ func (t *Trace) End(id ID) {
 }
 
 // Annotate sets the span's detail string.
+//
+//lint:hotpath
 func (t *Trace) Annotate(id ID, detail string) {
 	if t == nil || id <= 0 || int(id) > len(t.spans) {
 		return
