@@ -3,9 +3,14 @@
 // Usage:
 //
 //	ntierlab list
-//	ntierlab run <scenario> [-duration 60s] [-seed 1] [-csv dir] [-json]
+//	ntierlab run <scenario> [-scenario-file file.json] [-duration 60s]
+//	              [-seed 1] [-csv dir] [-json]
 //	              [-retention all|bounded] [-simstats]
 //	              [-cpuprofile file] [-memprofile file]
+//	ntierlab scenario run <file|name> [-duration 60s] [-seed 1] [-json]
+//	              [-csv dir] [-benchout file]
+//	ntierlab scenario validate <file>...
+//	ntierlab scenario generate [-seed 1] [-o file.json]
 //	ntierlab predict <rate req/s> <burst duration> <capacity>
 //	ntierlab fig12 [-points 100,200,400,800,1600] [-parallel N]
 //	ntierlab matrix [-duration 45s] [-parallel N]
@@ -16,6 +21,13 @@
 //	ntierlab simstats [-scenario fig3] [-duration 60s] [-seed 1]
 //	                [-retention all|bounded] [-benchout file]
 //	                [-cpuprofile file] [-memprofile file]
+//
+// scenario is the declarative engine's front door: run executes one
+// scenario file (or registry name), prints the summary and evaluates the
+// file's assertions — a failing assertion exits non-zero; validate
+// parses and compiles files without running them; generate emits a
+// seeded random stress scenario. run, replicate, sweep and simstats also
+// accept -scenario-file wherever a registry name is accepted.
 //
 // The multi-run subcommands (fig12, matrix, replicate, sweep) fan their
 // independent simulations across a core.Runner worker pool: -parallel 0
@@ -69,13 +81,15 @@ func scenarios() map[string]core.Config { return core.Scenarios() }
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ntierlab <list|run|predict|fig12|matrix|replicate|sweep|simstats> ...")
+		return fmt.Errorf("usage: ntierlab <list|run|scenario|predict|fig12|matrix|replicate|sweep|simstats> ...")
 	}
 	switch args[0] {
 	case "list":
 		return list()
 	case "run":
 		return runScenario(args[1:])
+	case "scenario":
+		return scenarioCmd(args[1:])
 	case "predict":
 		return predict(args[1:])
 	case "fig12":
@@ -115,18 +129,19 @@ func runScenario(args []string) error {
 	spans := fs.Bool("spans", false, "record per-request span traces and print the critical-path breakdown")
 	retention := fs.String("retention", "", "telemetry retention: all (default, exact) or bounded (constant-memory)")
 	withStats := fs.Bool("simstats", false, "profile the DES kernel and report events/second")
+	scenarioFile := scenarioFileFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 
-	if len(args) == 0 {
-		return fmt.Errorf("usage: ntierlab run <scenario> [flags]")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
+	name, rest := splitLeadingName(args)
+	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	cfg, ok := scenarios()[name]
-	if !ok {
-		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", name)
+	if name == "" && *scenarioFile == "" {
+		return fmt.Errorf("usage: ntierlab run <scenario> [flags]")
+	}
+	cfg, doc, err := resolveScenario(name, *scenarioFile)
+	if err != nil {
+		return err
 	}
 	if *duration > 0 {
 		cfg.Duration = *duration
@@ -161,7 +176,7 @@ func runScenario(args []string) error {
 			return err
 		}
 		fmt.Println(string(data))
-		return nil
+		return evaluateAssertions(doc, res, true)
 	}
 	fmt.Printf("simulated %v in %v wall time\n\n",
 		res.End, time.Since(start).Round(time.Millisecond))
@@ -184,7 +199,14 @@ func runScenario(args []string) error {
 		}
 		fmt.Printf("timelines written to %s\n", *csvDir)
 	}
-	return nil
+	return evaluateAssertions(doc, res, false)
+}
+
+// scenarioFileFlag registers the shared declarative-scenario flag on a
+// subcommand that also accepts registry names.
+func scenarioFileFlag(fs *flag.FlagSet) *string {
+	return fs.String("scenario-file", "",
+		"load the scenario from this declarative file instead of naming a registry entry")
 }
 
 // printHistogram renders the Fig. 1 style per-second summary.
@@ -308,18 +330,19 @@ func replicate(args []string) error {
 	fs := flag.NewFlagSet("replicate", flag.ContinueOnError)
 	n := fs.Int("n", 5, "number of replications")
 	duration := fs.Duration("duration", 0, "override measured duration")
+	scenarioFile := scenarioFileFlag(fs)
 	parallel := parallelFlag(fs)
 
-	if len(args) == 0 {
-		return fmt.Errorf("usage: ntierlab replicate <scenario> [-n 5]")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
+	name, rest := splitLeadingName(args)
+	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	cfg, ok := scenarios()[name]
-	if !ok {
-		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", name)
+	if name == "" && *scenarioFile == "" {
+		return fmt.Errorf("usage: ntierlab replicate <scenario> [-n 5]")
+	}
+	cfg, _, err := resolveScenario(name, *scenarioFile)
+	if err != nil {
+		return err
 	}
 	if *duration > 0 {
 		cfg.Duration = *duration
@@ -370,7 +393,8 @@ func parseSeedRange(s string) (start int64, count int, err error) {
 
 func sweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
-	scenario := fs.String("scenario", "", "scenario to sweep (see: ntierlab list)")
+	scenarioName := fs.String("scenario", "", "scenario to sweep (see: ntierlab list)")
+	scenarioFile := scenarioFileFlag(fs)
 	seedsFlag := fs.String("seeds", "1..100", "seed range lo..hi (inclusive), or a count N meaning 1..N")
 	duration := fs.Duration("duration", 0, "override measured duration")
 	shard := fs.Int("shard", 0,
@@ -385,12 +409,12 @@ func sweep(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *scenario == "" {
+	if *scenarioName == "" && *scenarioFile == "" {
 		return fmt.Errorf("usage: ntierlab sweep -scenario <name> -seeds 1..500 [flags]")
 	}
-	cfg, ok := scenarios()[*scenario]
-	if !ok {
-		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", *scenario)
+	cfg, _, err := resolveScenario(*scenarioName, *scenarioFile)
+	if err != nil {
+		return err
 	}
 	if *duration > 0 {
 		cfg.Duration = *duration
@@ -544,7 +568,8 @@ func readSimstatsBaseline(path string) (simstatsRecord, bool) {
 
 func simstats(args []string) error {
 	fs := flag.NewFlagSet("simstats", flag.ContinueOnError)
-	scenario := fs.String("scenario", "fig3", "scenario to profile (see: ntierlab list)")
+	scenarioName := fs.String("scenario", "fig3", "scenario to profile (see: ntierlab list)")
+	scenarioFile := scenarioFileFlag(fs)
 	duration := fs.Duration("duration", 0, "override measured duration")
 	seed := fs.Int64("seed", 0, "override RNG seed")
 	retention := fs.String("retention", "bounded",
@@ -555,9 +580,14 @@ func simstats(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, ok := scenarios()[*scenario]
-	if !ok {
-		return fmt.Errorf("unknown scenario %q (try: ntierlab list)", *scenario)
+	label := *scenarioName
+	if *scenarioFile != "" {
+		label = *scenarioFile
+		*scenarioName = ""
+	}
+	cfg, _, err := resolveScenario(*scenarioName, *scenarioFile)
+	if err != nil {
+		return err
 	}
 	if *duration > 0 {
 		cfg.Duration = *duration
@@ -616,7 +646,7 @@ func simstats(args []string) error {
 	}
 	record := simstatsRecord{
 		Benchmark:       "ntierlab-simstats",
-		Scenario:        *scenario,
+		Scenario:        label,
 		Seed:            defaulted.Seed,
 		DurationSeconds: defaulted.Duration.Seconds(),
 		Retention:       retName,

@@ -2,21 +2,55 @@
 // timelines of the three panels — CPU utilization, queue depths against
 // MaxSysQDepth, and VLRT counts.
 //
-//	go run ./examples/consolidation
+// The experiment is declared in the embedded fig3 scenario file; pass
+// -scenario to run a different scenario document through the same panels.
+//
+//	go run ./examples/consolidation [-scenario file.json]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"ctqosim/internal/core"
 	"ctqosim/internal/metrics"
+	"ctqosim/internal/scenario"
 )
 
+// loadScenario resolves the document to run: an on-disk file when a path
+// is given, the named embedded registry scenario otherwise.
+func loadScenario(path, fallback string) (core.Config, *scenario.Document, error) {
+	var doc *scenario.Document
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return core.Config{}, nil, err
+		}
+		if doc, err = scenario.Parse(path, data); err != nil {
+			return core.Config{}, nil, err
+		}
+	} else {
+		doc = core.ScenarioDocs()[fallback]
+		if doc == nil {
+			return core.Config{}, nil, fmt.Errorf("embedded scenario %q missing", fallback)
+		}
+	}
+	cfg, err := core.FromScenario(doc)
+	return cfg, doc, err
+}
+
 func main() {
-	res, err := core.New(core.Figure3Config()).Run()
+	file := flag.String("scenario", "", "scenario file to run instead of the embedded fig3 document")
+	flag.Parse()
+	cfg, doc, err := loadScenario(*file, "fig3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.New(cfg).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,6 +88,15 @@ func main() {
 
 	fmt.Println("\nmicro-level event analysis:")
 	fmt.Println(res.Report)
+
+	if len(doc.Assertions) > 0 {
+		report := scenario.Evaluate(doc.Assertions, res.Outcome())
+		fmt.Println("assertions:")
+		fmt.Println(report)
+		if !report.Pass() {
+			os.Exit(1)
+		}
+	}
 }
 
 // printSpark prints one digit per second: the second's peak utilization in

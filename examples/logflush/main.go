@@ -2,19 +2,53 @@
 // flush stalls MySQL on I/O every 30 seconds, and the queuing chain
 // propagates MySQL -> Tomcat -> Apache until Apache drops packets.
 //
-//	go run ./examples/logflush
+// The experiment is declared in the embedded fig5 scenario file; pass
+// -scenario to run a different scenario document through the same panels.
+//
+//	go run ./examples/logflush [-scenario file.json]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"ctqosim/internal/core"
+	"ctqosim/internal/scenario"
 )
 
+// loadScenario resolves the document to run: an on-disk file when a path
+// is given, the named embedded registry scenario otherwise.
+func loadScenario(path, fallback string) (core.Config, *scenario.Document, error) {
+	var doc *scenario.Document
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return core.Config{}, nil, err
+		}
+		if doc, err = scenario.Parse(path, data); err != nil {
+			return core.Config{}, nil, err
+		}
+	} else {
+		doc = core.ScenarioDocs()[fallback]
+		if doc == nil {
+			return core.Config{}, nil, fmt.Errorf("embedded scenario %q missing", fallback)
+		}
+	}
+	cfg, err := core.FromScenario(doc)
+	return cfg, doc, err
+}
+
 func main() {
-	res, err := core.New(core.Figure5Config()).Run()
+	file := flag.String("scenario", "", "scenario file to run instead of the embedded fig5 document")
+	flag.Parse()
+	cfg, doc, err := loadScenario(*file, "fig5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.New(cfg).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,4 +78,13 @@ func main() {
 
 	fmt.Println("\nmicro-level event analysis:")
 	fmt.Println(res.Report)
+
+	if len(doc.Assertions) > 0 {
+		report := scenario.Evaluate(doc.Assertions, res.Outcome())
+		fmt.Println("assertions:")
+		fmt.Println(report)
+		if !report.Pass() {
+			os.Exit(1)
+		}
+	}
 }

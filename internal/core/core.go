@@ -284,6 +284,29 @@ type Config struct {
 	// may mutate only its per-run argument, never captured state.
 	//lint:nocapturewrite
 	Tweak func(*ntier.SystemSpec)
+
+	// Script, if non-nil, runs once after the system is built and before
+	// the simulation starts: it receives the live run handles and
+	// typically schedules a timed chaos script against them (the scenario
+	// engine compiles its events section into this hook). Like Tweak it
+	// runs on the worker goroutine, may mutate only through its per-run
+	// argument, and is bound by the determinism contract.
+	//lint:nocapturewrite
+	Script func(*RunHandles)
+}
+
+// RunHandles exposes the live pieces of one run to a Config.Script:
+// enough to schedule timed events (via Sim), target tier VMs and servers
+// (via Steady and Bursty), and swap the workload mix (via Clients).
+type RunHandles struct {
+	// Sim is the run's simulator; scripts schedule events on it.
+	Sim *des.Simulator
+	// Steady is the built system under test.
+	Steady *ntier.System
+	// Bursty is the consolidation co-tenant; nil unless configured.
+	Bursty *ntier.System
+	// Clients is the steady closed-loop workload.
+	Clients *workload.ClosedLoop
 }
 
 func (c Config) withDefaults() Config {

@@ -192,7 +192,11 @@ func (e *Experiment) Run() (*Result, error) {
 		case TierDB:
 			// vm already defaults to the DB tier above.
 		}
-		fault.NewLogFlush(sim, vm, lf.Interval, lf.Duration).Start()
+		flush, err := fault.NewLogFlush(sim, vm, lf.Interval, lf.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		flush.Start()
 	}
 
 	// --- GC millibottleneck -----------------------------------------------
@@ -207,11 +211,25 @@ func (e *Experiment) Run() (*Result, error) {
 		case TierDB:
 			vm, srv = steady.DBVM, steady.DB
 		}
-		fault.NewGCPause(sim, vm, gc.Interval, gc.Base, gc.PerRequest,
-			srv.InService).Start()
+		pauser, err := fault.NewGCPause(sim, vm, gc.Interval, gc.Base, gc.PerRequest,
+			srv.InService)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		pauser.Start()
 	}
 
 	mon.Start()
+
+	// --- scenario event script --------------------------------------------
+	if cfg.Script != nil {
+		cfg.Script(&RunHandles{
+			Sim:     sim,
+			Steady:  steady,
+			Bursty:  bursty,
+			Clients: cl,
+		})
+	}
 
 	// --- run -------------------------------------------------------------
 	var prof *des.Profile

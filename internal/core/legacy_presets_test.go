@@ -1,0 +1,252 @@
+package core
+
+// The hand-written Go presets that the embedded scenario files replaced,
+// kept verbatim as the migration pin: TestScenarioFilesMatchLegacyPresets
+// proves every file compiles to exactly the config the Go literal built,
+// so the declarative migration cannot silently drift a paper figure.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ctqosim/internal/ntier"
+)
+
+func legacyFigure1Config(clients int) Config {
+	return Config{
+		Name:     fmt.Sprintf("figure-1 WL %d", clients),
+		NX:       ntier.NX0,
+		Clients:  clients,
+		Duration: 180 * time.Second,
+		Consolidation: &ConsolidationSpec{
+			Tier:        TierApp,
+			BatchSize:   500,
+			TrainLength: 3,
+		},
+	}
+}
+
+func legacyFigure3Config() Config {
+	return Config{
+		Name:          "figure-3 VM consolidation, upstream CTQO",
+		NX:            ntier.NX0,
+		Clients:       7000,
+		Duration:      60 * time.Second,
+		Consolidation: &ConsolidationSpec{Tier: TierApp, TrainLength: 2},
+		Trace:         true,
+		Spans:         true,
+	}
+}
+
+func legacyFigure5Config() Config {
+	return Config{
+		Name:     "figure-5 log flush, upstream CTQO",
+		NX:       ntier.NX0,
+		Clients:  7000,
+		Duration: 90 * time.Second,
+		AppCores: 4,
+		LogFlush: &LogFlushSpec{Tier: TierDB},
+		Trace:    true,
+	}
+}
+
+func legacyFigure7Config() Config {
+	cfg := legacyFigure3Config()
+	cfg.Name = "figure-7 NX=1, downstream CTQO at Tomcat"
+	cfg.NX = ntier.NX1
+	return cfg
+}
+
+func legacyFigure8Config() Config {
+	return Config{
+		Name:          "figure-8 NX=2, downstream CTQO at MySQL",
+		NX:            ntier.NX2,
+		Clients:       7000,
+		Duration:      60 * time.Second,
+		Consolidation: &ConsolidationSpec{Tier: TierDB},
+		Trace:         true,
+	}
+}
+
+func legacyFigure9Config() Config {
+	return Config{
+		Name:          "figure-9 NX=2, batch release overflows MySQL",
+		NX:            ntier.NX2,
+		Clients:       7000,
+		Duration:      60 * time.Second,
+		Consolidation: &ConsolidationSpec{Tier: TierApp, BatchSize: 600},
+		Trace:         true,
+	}
+}
+
+func legacyFigure10Config() Config {
+	return Config{
+		Name:          "figure-10 NX=3, no CTQO (CPU millibottleneck)",
+		NX:            ntier.NX3,
+		Clients:       7000,
+		Duration:      60 * time.Second,
+		Consolidation: &ConsolidationSpec{Tier: TierApp, BatchSize: 600},
+		Trace:         true,
+	}
+}
+
+func legacyFigure11Config() Config {
+	return Config{
+		Name:     "figure-11 NX=3, no CTQO (I/O millibottleneck)",
+		NX:       ntier.NX3,
+		Clients:  7000,
+		Duration: 90 * time.Second,
+		AppCores: 4,
+		LogFlush: &LogFlushSpec{Tier: TierDB},
+		Trace:    true,
+	}
+}
+
+func legacyNX1MySQLBottleneckConfig() Config {
+	return Config{
+		Name:          "NX=1, MySQL millibottleneck, upstream CTQO at Tomcat",
+		NX:            ntier.NX1,
+		Clients:       7000,
+		Duration:      60 * time.Second,
+		Consolidation: &ConsolidationSpec{Tier: TierDB},
+		Trace:         true,
+	}
+}
+
+func legacyFigure12Config(level ntier.NX, concurrency int) Config {
+	cfg := Config{
+		Name:      fmt.Sprintf("figure-12 %s at concurrency %d", level, concurrency),
+		NX:        level,
+		Clients:   concurrency,
+		ThinkTime: time.Millisecond,
+		WarmUp:    5 * time.Second,
+		Duration:  20 * time.Second,
+	}
+	if level == ntier.NX0 {
+		cfg.ThreadOverride = Figure12Threads
+		cfg.OverheadPerThread = Figure12Overhead
+	}
+	return cfg
+}
+
+func legacyAsyncHighUtilConfig() Config {
+	cfg := legacyFigure10Config()
+	cfg.Name = "NX=3 at ~83% utilization, no CTQO"
+	cfg.Clients = 8000
+	return cfg
+}
+
+func legacyGCMillibottleneckConfig(level ntier.NX) Config {
+	return Config{
+		Name:     fmt.Sprintf("GC millibottleneck under %s", level),
+		NX:       level,
+		Clients:  7000,
+		Duration: 60 * time.Second,
+		GCPause: &GCPauseSpec{
+			Tier:       TierApp,
+			Interval:   10 * time.Second,
+			Base:       400 * time.Millisecond,
+			PerRequest: 2 * time.Millisecond,
+		},
+		Trace: true,
+	}
+}
+
+func legacyCellConfig(cfg MatrixConfig, level ntier.NX, tier Tier, kind string) Config {
+	expCfg := Config{
+		Name:     fmt.Sprintf("matrix NX=%d %s %s", level, kind, tier),
+		NX:       level,
+		Clients:  cfg.Clients,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+		Trace:    true,
+	}
+	switch kind {
+	case "io":
+		expCfg.LogFlush = &LogFlushSpec{Tier: tier}
+		if tier == TierDB {
+			expCfg.AppCores = 4
+		}
+	default:
+		expCfg.Consolidation = &ConsolidationSpec{Tier: tier, BatchSize: 600}
+	}
+	return expCfg
+}
+
+// TestScenarioFilesMatchLegacyPresets pins every file-compiled registry
+// entry, sweep template and matrix cell to its legacy Go literal. All
+// function and pointer-to-func fields are nil on both sides, so
+// reflect.DeepEqual compares the full configuration.
+func TestScenarioFilesMatchLegacyPresets(t *testing.T) {
+	legacy := map[string]Config{
+		"fig1-wl4000":    legacyFigure1Config(4000),
+		"fig1-wl7000":    legacyFigure1Config(7000),
+		"fig1-wl8000":    legacyFigure1Config(8000),
+		"fig3":           legacyFigure3Config(),
+		"fig5":           legacyFigure5Config(),
+		"fig7":           legacyFigure7Config(),
+		"fig8":           legacyFigure8Config(),
+		"fig9":           legacyFigure9Config(),
+		"fig10":          legacyFigure10Config(),
+		"fig11":          legacyFigure11Config(),
+		"nx1-mysql":      legacyNX1MySQLBottleneckConfig(),
+		"async-highutil": legacyAsyncHighUtilConfig(),
+		"gc-sync":        legacyGCMillibottleneckConfig(0),
+		"gc-async":       legacyGCMillibottleneckConfig(3),
+	}
+	got := Scenarios()
+	for name, want := range legacy {
+		cfg, ok := got[name]
+		if !ok {
+			t.Errorf("registry lost scenario %q", name)
+			continue
+		}
+		if !reflect.DeepEqual(cfg, want) {
+			t.Errorf("%s: file-compiled config diverged from legacy preset:\n got %+v\nwant %+v", name, cfg, want)
+		}
+	}
+	// The registry may add scenarios (chaos-demo), but every addition must
+	// at least compile; reaching here means Scenarios() already did.
+
+	// Constructor wrappers: Figure1Config varies the population around the
+	// WL 7000 file, GCMillibottleneckConfig varies the level.
+	for _, wl := range []int{4000, 5500, 7000, 8000} {
+		if gotC, want := Figure1Config(wl), legacyFigure1Config(wl); !reflect.DeepEqual(gotC, want) {
+			t.Errorf("Figure1Config(%d) diverged:\n got %+v\nwant %+v", wl, gotC, want)
+		}
+	}
+	for _, level := range []ntier.NX{ntier.NX0, ntier.NX1, ntier.NX2, ntier.NX3} {
+		if gotC, want := GCMillibottleneckConfig(level), legacyGCMillibottleneckConfig(level); !reflect.DeepEqual(gotC, want) {
+			t.Errorf("GCMillibottleneckConfig(%v) diverged:\n got %+v\nwant %+v", level, gotC, want)
+		}
+	}
+
+	// Fig. 12 templates across every level and concurrency of the sweep.
+	for _, level := range []ntier.NX{ntier.NX0, ntier.NX1, ntier.NX2, ntier.NX3} {
+		for _, n := range Figure12Concurrencies {
+			if gotC, want := Figure12Config(level, n), legacyFigure12Config(level, n); !reflect.DeepEqual(gotC, want) {
+				t.Errorf("Figure12Config(%v, %d) diverged:\n got %+v\nwant %+v", level, n, gotC, want)
+			}
+		}
+	}
+
+	// All 16 matrix cells, at both default-shaped and custom sweeps.
+	for _, mc := range []MatrixConfig{
+		{Clients: 7000, Duration: 45 * time.Second, Seed: 1},
+		{Clients: 5000, Duration: 30 * time.Second, Seed: 7},
+	} {
+		for _, level := range []ntier.NX{ntier.NX0, ntier.NX1, ntier.NX2, ntier.NX3} {
+			for _, kind := range []string{"cpu", "io"} {
+				for _, tier := range []Tier{TierApp, TierDB} {
+					gotC := cellConfig(mc, level, tier, kind)
+					want := legacyCellConfig(mc, level, tier, kind)
+					if !reflect.DeepEqual(gotC, want) {
+						t.Errorf("cellConfig(%+v, %v, %v, %s) diverged:\n got %+v\nwant %+v", mc, level, tier, kind, gotC, want)
+					}
+				}
+			}
+		}
+	}
+}

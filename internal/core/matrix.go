@@ -91,27 +91,21 @@ func RunCTQOMatrix(cfg MatrixConfig) ([]MatrixCell, error) {
 	return out, err
 }
 
-// cellConfig assembles one cell's experiment configuration.
+// cellConfig assembles one cell's experiment configuration from its
+// embedded scenario file (scenarios/cells/); the sweep's population,
+// duration and seed override the file's placeholders. Unknown kinds fall
+// back to the cpu cell — the deeper Fig. 9 burst used uniformly so every
+// cell sees the identical millibottleneck; NX=3 absorbs even this one.
 func cellConfig(cfg MatrixConfig, level ntier.NX, tier Tier, kind string) Config {
-	expCfg := Config{
-		Name:     fmt.Sprintf("matrix NX=%d %s %s", level, kind, tier),
-		NX:       level,
-		Clients:  cfg.Clients,
-		Duration: cfg.Duration,
-		Seed:     cfg.Seed,
-		Trace:    true,
+	fileKind := "cpu"
+	if kind == "io" {
+		fileKind = "io"
 	}
-	switch kind {
-	case "io":
-		expCfg.LogFlush = &LogFlushSpec{Tier: tier}
-		if tier == TierDB {
-			expCfg.AppCores = 4
-		}
-	default:
-		// The deeper Fig. 9 burst is used uniformly so every cell sees the
-		// identical millibottleneck; NX=3 absorbs even this one.
-		expCfg.Consolidation = &ConsolidationSpec{Tier: tier, BatchSize: 600}
-	}
+	expCfg := mustScenario(fmt.Sprintf("scenarios/cells/nx%d-%s-%s.json", level, fileKind, tier))
+	expCfg.Name = fmt.Sprintf("matrix NX=%d %s %s", level, kind, tier)
+	expCfg.Clients = cfg.Clients
+	expCfg.Duration = cfg.Duration
+	expCfg.Seed = cfg.Seed
 	return expCfg
 }
 

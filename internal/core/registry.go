@@ -1,22 +1,27 @@
 package core
 
+import (
+	"io/fs"
+	"strings"
+)
+
 // Scenarios returns the named scenario registry shared by the CLI tools
-// and tests: every paper figure plus the extension scenarios.
+// and tests: every paper figure plus the extension scenarios, compiled
+// from the embedded scenario files (one file per name, keyed by its
+// basename). TestScenarioFilesMatchLegacyPresets pins each compiled
+// config to the original hand-written Go preset.
 func Scenarios() map[string]Config {
-	return map[string]Config{
-		"fig1-wl4000":    Figure1Config(4000),
-		"fig1-wl7000":    Figure1Config(7000),
-		"fig1-wl8000":    Figure1Config(8000),
-		"fig3":           Figure3Config(),
-		"fig5":           Figure5Config(),
-		"fig7":           Figure7Config(),
-		"fig8":           Figure8Config(),
-		"fig9":           Figure9Config(),
-		"fig10":          Figure10Config(),
-		"fig11":          Figure11Config(),
-		"nx1-mysql":      NX1MySQLBottleneckConfig(),
-		"async-highutil": AsyncHighUtilConfig(),
-		"gc-sync":        GCMillibottleneckConfig(0),
-		"gc-async":       GCMillibottleneckConfig(3),
+	out := make(map[string]Config)
+	entries, err := fs.ReadDir(scenarioFS, "scenarios")
+	if err != nil {
+		panic("embedded scenarios: " + err.Error())
 	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		out[name] = mustScenario("scenarios/" + e.Name())
+	}
+	return out
 }

@@ -2,153 +2,78 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"ctqosim/internal/ntier"
 )
 
-// Scenario presets, one per paper figure. Durations are chosen so each run
-// spans many millibottleneck periods; Fig. 1 runs longer to populate the
+// Scenario presets, one per paper figure. Each constructor loads its
+// embedded scenario file (internal/core/scenarios/) and applies only the
+// parameter the constructor's signature varies — the files are the source
+// of truth, and TestScenarioFilesMatchLegacyPresets pins them to the
+// original hand-written values. Durations are chosen so each run spans
+// many millibottleneck periods; Fig. 1 runs longer to populate the
 // histogram tail.
 
 // Figure1Config reproduces one panel of Fig. 1: the multi-modal
 // response-time histogram of the fully synchronous system under VM
 // consolidation, at the given client population (the paper uses 4000,
-// 7000 and 8000).
+// 7000 and 8000; the registry embeds one file per panel).
 func Figure1Config(clients int) Config {
-	return Config{
-		Name:     fmt.Sprintf("figure-1 WL %d", clients),
-		NX:       ntier.NX0,
-		Clients:  clients,
-		Duration: 180 * time.Second,
-		// Burst trains model the clustered bursts of the RUBBoS burst
-		// index 100: sub-bursts 3s apart re-drop retransmitted packets,
-		// which is what populates the 6s and 9s histogram clusters. The
-		// 500-request sub-burst (~0.5s millibottleneck) overflows
-		// MaxSysQDepth(Apache)=278 even at the WL 4000 arrival rate.
-		Consolidation: &ConsolidationSpec{
-			Tier:        TierApp,
-			BatchSize:   500,
-			TrainLength: 3,
-		},
-	}
+	cfg := mustScenario("scenarios/fig1-wl7000.json")
+	cfg.Name = fmt.Sprintf("figure-1 WL %d", clients)
+	cfg.Clients = clients
+	return cfg
 }
 
 // Figure3Config reproduces Fig. 3: upstream CTQO from CPU millibottlenecks
 // in SysSteady-Tomcat, co-located with SysBursty-MySQL; drops at Apache.
 func Figure3Config() Config {
-	return Config{
-		Name:     "figure-3 VM consolidation, upstream CTQO",
-		NX:       ntier.NX0,
-		Clients:  7000,
-		Duration: 60 * time.Second,
-		// A two-burst train reproduces Fig. 3's irregular burst pattern
-		// (2, 5, 9, 15s) and sustains Apache saturation long enough for
-		// the spare httpd process to raise MaxSysQDepth to 428 — the
-		// second queue plateau of Fig. 3(b).
-		Consolidation: &ConsolidationSpec{Tier: TierApp, TrainLength: 2},
-		Trace:         true,
-		// Span traces turn the aggregate story into per-request causality:
-		// the -breakdown table attributes the VLRT tail to retransmission
-		// gaps and queue waits, and the 6s exemplars show two 3s RTO spans.
-		Spans: true,
-	}
+	return mustScenario("scenarios/fig3.json")
 }
 
 // Figure5Config reproduces Fig. 5: upstream CTQO from I/O millibottlenecks
 // (collectl log flush every 30s in MySQL), with the app tier scaled to 4
 // cores so the app tier is no longer the bottleneck.
 func Figure5Config() Config {
-	return Config{
-		Name:     "figure-5 log flush, upstream CTQO",
-		NX:       ntier.NX0,
-		Clients:  7000,
-		Duration: 90 * time.Second,
-		AppCores: 4,
-		LogFlush: &LogFlushSpec{Tier: TierDB},
-		Trace:    true,
-	}
+	return mustScenario("scenarios/fig5.json")
 }
 
 // Figure7Config reproduces Fig. 7: NX=1 (Nginx-Tomcat-MySQL) with
 // millibottlenecks in Tomcat — no upstream CTQO at Nginx, but downstream
 // CTQO and drops at Tomcat.
 func Figure7Config() Config {
-	cfg := Figure3Config()
-	cfg.Name = "figure-7 NX=1, downstream CTQO at Tomcat"
-	cfg.NX = ntier.NX1
-	return cfg
+	return mustScenario("scenarios/fig7.json")
 }
 
 // Figure8Config reproduces Fig. 8: NX=2 (Nginx-XTomcat-MySQL) with
 // millibottlenecks in MySQL — downstream CTQO and drops at MySQL.
 func Figure8Config() Config {
-	return Config{
-		Name:          "figure-8 NX=2, downstream CTQO at MySQL",
-		NX:            ntier.NX2,
-		Clients:       7000,
-		Duration:      60 * time.Second,
-		Consolidation: &ConsolidationSpec{Tier: TierDB},
-		Trace:         true,
-	}
+	return mustScenario("scenarios/fig8.json")
 }
 
 // Figure9Config reproduces Fig. 9: NX=2 with millibottlenecks in XTomcat —
 // the post-millibottleneck batch release overflows MySQL.
 func Figure9Config() Config {
-	return Config{
-		Name:     "figure-9 NX=2, batch release overflows MySQL",
-		NX:       ntier.NX2,
-		Clients:  7000,
-		Duration: 60 * time.Second,
-		// A deeper app-tier millibottleneck (~0.6s) builds the backlog
-		// whose batch release overflows MaxSysQDepth(MySQL)=228.
-		Consolidation: &ConsolidationSpec{Tier: TierApp, BatchSize: 600},
-		Trace:         true,
-	}
+	return mustScenario("scenarios/fig9.json")
 }
 
 // Figure10Config reproduces Fig. 10: NX=3 with millibottlenecks in
 // XTomcat — no CTQO, no drops.
 func Figure10Config() Config {
-	return Config{
-		Name:     "figure-10 NX=3, no CTQO (CPU millibottleneck)",
-		NX:       ntier.NX3,
-		Clients:  7000,
-		Duration: 60 * time.Second,
-		// The same millibottleneck as Fig. 9 — the comparison is the
-		// point: with XMySQL's lightweight queue the batch is absorbed.
-		Consolidation: &ConsolidationSpec{Tier: TierApp, BatchSize: 600},
-		Trace:         true,
-	}
+	return mustScenario("scenarios/fig10.json")
 }
 
 // Figure11Config reproduces Fig. 11: NX=3 with I/O millibottlenecks in
 // XMySQL — no CTQO, no drops.
 func Figure11Config() Config {
-	return Config{
-		Name:     "figure-11 NX=3, no CTQO (I/O millibottleneck)",
-		NX:       ntier.NX3,
-		Clients:  7000,
-		Duration: 90 * time.Second,
-		AppCores: 4,
-		LogFlush: &LogFlushSpec{Tier: TierDB},
-		Trace:    true,
-	}
+	return mustScenario("scenarios/fig11.json")
 }
 
 // NX1MySQLBottleneckConfig reproduces the experiment the paper describes
 // but omits for space in Section V-B: NX=1 with millibottlenecks in
 // MySQL, causing upstream CTQO at Tomcat.
 func NX1MySQLBottleneckConfig() Config {
-	return Config{
-		Name:          "NX=1, MySQL millibottleneck, upstream CTQO at Tomcat",
-		NX:            ntier.NX1,
-		Clients:       7000,
-		Duration:      60 * time.Second,
-		Consolidation: &ConsolidationSpec{Tier: TierDB},
-		Trace:         true,
-	}
+	return mustScenario("scenarios/nx1-mysql.json")
 }
 
 // Figure12Overhead is the calibrated per-thread CPU inflation that decays
@@ -161,20 +86,17 @@ const Figure12Threads = 2000
 
 // Figure12Config returns one cell of the Fig. 12 sweep: the given
 // architecture under the given request concurrency (closed loop with
-// near-zero think time).
+// near-zero think time). The sync/async templates live in
+// scenarios/templates/; the cell's level and concurrency are filled here.
 func Figure12Config(level ntier.NX, concurrency int) Config {
-	cfg := Config{
-		Name:      fmt.Sprintf("figure-12 %s at concurrency %d", level, concurrency),
-		NX:        level,
-		Clients:   concurrency,
-		ThinkTime: time.Millisecond,
-		WarmUp:    5 * time.Second,
-		Duration:  20 * time.Second,
-	}
+	path := "scenarios/templates/fig12-async.json"
 	if level == ntier.NX0 {
-		cfg.ThreadOverride = Figure12Threads
-		cfg.OverheadPerThread = Figure12Overhead
+		path = "scenarios/templates/fig12-sync.json"
 	}
+	cfg := mustScenario(path)
+	cfg.Name = fmt.Sprintf("figure-12 %s at concurrency %d", level, concurrency)
+	cfg.NX = level
+	cfg.Clients = concurrency
 	return cfg
 }
 
@@ -232,10 +154,7 @@ func (r *Runner) Figure12(concurrencies []int) ([]ThroughputPoint, error) {
 // tiers asynchronous, CTQO and dropped packets remain absent at utilization
 // as high as 83% (WL 8000), despite the same millibottlenecks.
 func AsyncHighUtilConfig() Config {
-	cfg := Figure10Config()
-	cfg.Name = "NX=3 at ~83% utilization, no CTQO"
-	cfg.Clients = 8000
-	return cfg
+	return mustScenario("scenarios/async-highutil.json")
 }
 
 // GCMillibottleneckConfig reproduces the millibottleneck source of the
@@ -243,20 +162,8 @@ func AsyncHighUtilConfig() Config {
 // paper's solution is agnostic to: periodic JVM garbage collections in the
 // app tier stall it long enough to trigger CTQO in the synchronous system.
 func GCMillibottleneckConfig(level ntier.NX) Config {
-	return Config{
-		Name:     fmt.Sprintf("GC millibottleneck under %s", level),
-		NX:       level,
-		Clients:  7000,
-		Duration: 60 * time.Second,
-		// Full-collection pauses: the TRIOS'14 study measured multi-hundred
-		// millisecond stop-the-world GCs; 400ms puts the pause right at the
-		// Section III overflow boundary for this arrival rate.
-		GCPause: &GCPauseSpec{
-			Tier:       TierApp,
-			Interval:   10 * time.Second,
-			Base:       400 * time.Millisecond,
-			PerRequest: 2 * time.Millisecond,
-		},
-		Trace: true,
-	}
+	cfg := mustScenario("scenarios/gc-sync.json")
+	cfg.Name = fmt.Sprintf("GC millibottleneck under %s", level)
+	cfg.NX = level
+	return cfg
 }

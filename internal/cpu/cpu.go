@@ -191,6 +191,26 @@ func (v *VM) Block(d time.Duration) {
 // Blocked reports whether the VM is currently stalled on I/O.
 func (v *VM) Blocked() bool { return v.blocked > 0 }
 
+// Stall blocks the VM indefinitely — the scenario engine's kill_tier: all
+// jobs stop progressing until Resume. Stalls nest with Block and with
+// each other; each Stall needs its own Resume.
+func (v *VM) Stall() {
+	v.node.advance()
+	v.blocked++
+	v.node.reschedule()
+}
+
+// Resume ends one Stall. Resuming a VM that is not stalled is a no-op, so
+// a restore script cannot drive the nesting depth negative.
+func (v *VM) Resume() {
+	if v.blocked == 0 {
+		return
+	}
+	v.node.advance()
+	v.blocked--
+	v.node.reschedule()
+}
+
 // advance integrates all job progress and accounting from lastUpdate to the
 // current simulated time, using the allocation that has been in effect over
 // that interval.

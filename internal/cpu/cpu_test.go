@@ -447,3 +447,62 @@ func TestSetPolicyMidRun(t *testing.T) {
 		t.Fatalf("total CPU = %v, want 1.0s", total)
 	}
 }
+
+func TestStallFreezesUntilResume(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var doneAt time.Duration
+	vm.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	// Kill the VM at 50ms, restore it at 450ms: the job should lose 400ms.
+	sim.Schedule(50*time.Millisecond, vm.Stall)
+	sim.Schedule(450*time.Millisecond, vm.Resume)
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !within(doneAt, 500*time.Millisecond, time.Microsecond) {
+		t.Fatalf("job finished at %v, want ~500ms", doneAt)
+	}
+	if vm.Blocked() {
+		t.Fatal("VM still blocked after Resume")
+	}
+}
+
+func TestStallNestsWithBlock(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	var doneAt time.Duration
+	vm.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	sim.Schedule(10*time.Millisecond, vm.Stall)
+	// A Block that ends while the stall holds must not unfreeze the VM.
+	sim.Schedule(20*time.Millisecond, func() { vm.Block(50 * time.Millisecond) })
+	sim.Schedule(200*time.Millisecond, vm.Resume)
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 10ms of progress, frozen 10..200ms, then the remaining 90ms.
+	if !within(doneAt, 290*time.Millisecond, time.Microsecond) {
+		t.Fatalf("job finished at %v, want ~290ms", doneAt)
+	}
+}
+
+func TestResumeWithoutStallIsNoOp(t *testing.T) {
+	sim := des.NewSimulator(1)
+	node := NewNode(sim, "n", 1)
+	vm := node.AddVM("vm", 1, 1)
+
+	vm.Resume() // must not drive the nesting depth negative
+	var doneAt time.Duration
+	vm.Submit(100*time.Millisecond, func() { doneAt = sim.Now() })
+	sim.Schedule(10*time.Millisecond, func() { vm.Block(40 * time.Millisecond) })
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The stray Resume must not cancel the later Block's effect.
+	if !within(doneAt, 140*time.Millisecond, time.Microsecond) {
+		t.Fatalf("job finished at %v, want ~140ms", doneAt)
+	}
+}

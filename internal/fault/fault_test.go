@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -21,9 +22,91 @@ func run(t *testing.T, sim *des.Simulator, horizon time.Duration) {
 	}
 }
 
+func mustLogFlush(t *testing.T, sim *des.Simulator, vm *cpu.VM, interval, duration time.Duration) *LogFlush {
+	t.Helper()
+	f, err := NewLogFlush(sim, vm, interval, duration)
+	if err != nil {
+		t.Fatalf("NewLogFlush: %v", err)
+	}
+	return f
+}
+
+func TestConstructorValidation(t *testing.T) {
+	sim, vm := setup()
+	tests := []struct {
+		name string
+		make func() error
+		want string
+	}{
+		{"logflush nil sim", func() error {
+			_, err := NewLogFlush(nil, vm, time.Second, time.Millisecond)
+			return err
+		}, "nil simulator"},
+		{"logflush nil vm", func() error {
+			_, err := NewLogFlush(sim, nil, time.Second, time.Millisecond)
+			return err
+		}, "nil VM"},
+		{"logflush zero interval", func() error {
+			_, err := NewLogFlush(sim, vm, 0, time.Millisecond)
+			return err
+		}, "interval must be > 0"},
+		{"logflush negative duration", func() error {
+			_, err := NewLogFlush(sim, vm, time.Second, -time.Millisecond)
+			return err
+		}, "duration must be > 0"},
+		{"cpuhog nil sim", func() error {
+			_, err := NewCPUHog(nil, vm, time.Second, time.Millisecond)
+			return err
+		}, "nil simulator"},
+		{"cpuhog nil vm", func() error {
+			_, err := NewCPUHog(sim, nil, time.Second, time.Millisecond)
+			return err
+		}, "nil VM"},
+		{"cpuhog zero interval", func() error {
+			_, err := NewCPUHog(sim, vm, 0, time.Millisecond)
+			return err
+		}, "interval must be > 0"},
+		{"cpuhog zero demand", func() error {
+			_, err := NewCPUHog(sim, vm, time.Second, 0)
+			return err
+		}, "demand must be > 0"},
+		{"gcpause nil sim", func() error {
+			_, err := NewGCPause(nil, vm, time.Second, time.Millisecond, 0, nil)
+			return err
+		}, "nil simulator"},
+		{"gcpause nil vm", func() error {
+			_, err := NewGCPause(sim, nil, time.Second, time.Millisecond, 0, nil)
+			return err
+		}, "nil VM"},
+		{"gcpause negative interval", func() error {
+			_, err := NewGCPause(sim, vm, -time.Second, time.Millisecond, 0, nil)
+			return err
+		}, "interval must be > 0"},
+		{"gcpause negative base", func() error {
+			_, err := NewGCPause(sim, vm, time.Second, -time.Millisecond, 0, nil)
+			return err
+		}, "must be >= 0"},
+		{"gcpause all-zero pause", func() error {
+			_, err := NewGCPause(sim, vm, time.Second, 0, 0, nil)
+			return err
+		}, "both zero"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.make()
+			if err == nil {
+				t.Fatal("constructor accepted invalid arguments")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestLogFlushStallsPeriodically(t *testing.T) {
 	sim, vm := setup()
-	f := NewLogFlush(sim, vm, 30*time.Second, 400*time.Millisecond)
+	f := mustLogFlush(t, sim, vm, 30*time.Second, 400*time.Millisecond)
 	f.Start()
 
 	run(t, sim, 95*time.Second)
@@ -37,19 +120,9 @@ func TestLogFlushStallsPeriodically(t *testing.T) {
 	}
 }
 
-func TestLogFlushDefaults(t *testing.T) {
-	sim, vm := setup()
-	f := NewLogFlush(sim, vm, 0, 0)
-	f.Start()
-	run(t, sim, 31*time.Second)
-	if f.Flushes() != 1 {
-		t.Fatalf("flushes = %d, want 1 with default 30s interval", f.Flushes())
-	}
-}
-
 func TestLogFlushStop(t *testing.T) {
 	sim, vm := setup()
-	f := NewLogFlush(sim, vm, time.Second, 10*time.Millisecond)
+	f := mustLogFlush(t, sim, vm, time.Second, 10*time.Millisecond)
 	f.Start()
 	sim.Schedule(2500*time.Millisecond, f.Stop)
 	run(t, sim, 10*time.Second)
@@ -60,12 +133,42 @@ func TestLogFlushStop(t *testing.T) {
 
 func TestLogFlushStartIdempotent(t *testing.T) {
 	sim, vm := setup()
-	f := NewLogFlush(sim, vm, time.Second, 10*time.Millisecond)
+	f := mustLogFlush(t, sim, vm, time.Second, 10*time.Millisecond)
 	f.Start()
 	f.Start()
 	run(t, sim, 1500*time.Millisecond)
 	if f.Flushes() != 1 {
 		t.Fatalf("flushes = %d, want 1 (no double ticker)", f.Flushes())
+	}
+}
+
+func TestInjectorInterfaceFiredCounts(t *testing.T) {
+	sim, vm := setup()
+	lf := mustLogFlush(t, sim, vm, time.Second, time.Millisecond)
+	hog, err := NewCPUHog(sim, vm, time.Second, time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewCPUHog: %v", err)
+	}
+	gc, err := NewGCPause(sim, vm, time.Second, time.Millisecond, 0, nil)
+	if err != nil {
+		t.Fatalf("NewGCPause: %v", err)
+	}
+	injectors := []Injector{lf, hog, gc}
+	for _, in := range injectors {
+		in.Start()
+	}
+	run(t, sim, 3500*time.Millisecond)
+	for i, in := range injectors {
+		if in.Fired() != 3 {
+			t.Errorf("injector %d: Fired() = %d, want 3", i, in.Fired())
+		}
+		in.Stop()
+	}
+	run(t, sim, 10*time.Second)
+	for i, in := range injectors {
+		if in.Fired() != 3 {
+			t.Errorf("injector %d fired after Stop: %d", i, in.Fired())
+		}
 	}
 }
 
@@ -75,7 +178,10 @@ func TestCPUHogSaturatesSharedCore(t *testing.T) {
 	steady := node.AddVM("steady", 1, 1)
 	hogVM := node.AddVM("hog", 1, 1)
 
-	hog := NewCPUHog(sim, hogVM, 15*time.Second, 400*time.Millisecond)
+	hog, err := NewCPUHog(sim, hogVM, 15*time.Second, 400*time.Millisecond)
+	if err != nil {
+		t.Fatalf("NewCPUHog: %v", err)
+	}
 	hog.Start()
 
 	// A steady job that should take 100ms alone.
@@ -94,22 +200,15 @@ func TestCPUHogSaturatesSharedCore(t *testing.T) {
 	}
 }
 
-func TestCPUHogZeroIntervalNeverStarts(t *testing.T) {
-	sim, vm := setup()
-	h := NewCPUHog(sim, vm, 0, time.Second)
-	h.Start()
-	run(t, sim, 10*time.Second)
-	if h.Bursts() != 0 {
-		t.Fatalf("bursts = %d, want 0", h.Bursts())
-	}
-}
-
 func TestGCPauseScalesWithLoad(t *testing.T) {
 	sim, vm := setup()
 	threads := 0
-	g := NewGCPause(sim, vm, time.Second, 10*time.Millisecond, time.Millisecond, func() int {
+	g, err := NewGCPause(sim, vm, time.Second, 10*time.Millisecond, time.Millisecond, func() int {
 		return threads
 	})
+	if err != nil {
+		t.Fatalf("NewGCPause: %v", err)
+	}
 	g.Start()
 
 	sim.Schedule(1500*time.Millisecond, func() { threads = 100 })
@@ -127,23 +226,13 @@ func TestGCPauseScalesWithLoad(t *testing.T) {
 
 func TestGCPauseNilLoadFn(t *testing.T) {
 	sim, vm := setup()
-	g := NewGCPause(sim, vm, time.Second, 5*time.Millisecond, time.Millisecond, nil)
+	g, err := NewGCPause(sim, vm, time.Second, 5*time.Millisecond, time.Millisecond, nil)
+	if err != nil {
+		t.Fatalf("NewGCPause: %v", err)
+	}
 	g.Start()
 	run(t, sim, 1100*time.Millisecond)
 	if vm.Usage().Blocked != 5*time.Millisecond {
 		t.Fatalf("blocked = %v, want 5ms", vm.Usage().Blocked)
-	}
-}
-
-func TestGCPauseZeroPauseSkipsBlock(t *testing.T) {
-	sim, vm := setup()
-	g := NewGCPause(sim, vm, time.Second, 0, 0, nil)
-	g.Start()
-	run(t, sim, 2100*time.Millisecond)
-	if g.Pauses() != 2 {
-		t.Fatalf("pauses = %d, want 2", g.Pauses())
-	}
-	if vm.Usage().Blocked != 0 {
-		t.Fatalf("blocked = %v, want 0", vm.Usage().Blocked)
 	}
 }

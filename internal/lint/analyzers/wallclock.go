@@ -18,6 +18,8 @@ var SimTimePackages = []string{
 	"ctqosim/internal/core",
 	"ctqosim/internal/burst",
 	"ctqosim/internal/workload",
+	"ctqosim/internal/scenario",
+	"ctqosim/internal/fault",
 }
 
 // wallclockFuncs are the package-level time functions that read or wait

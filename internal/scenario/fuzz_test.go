@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseScenario asserts that Parse never panics on arbitrary input,
+// and that any accepted document survives a Marshal→Parse round trip.
+func FuzzParseScenario(f *testing.F) {
+	seeds := []string{
+		minimal(),
+		`{`,
+		`not json at all`,
+		`{"name":"x","fleet":{"nx":0,"clients":1},"bogus":1}`,
+		`{"name":"x","fleet":{"nx":0,"clients":1,"clientz":2}}`,
+		`{"name":"x","duration":5,"fleet":{"nx":0,"clients":1}}`,
+		`{"name":"x","duration":"fast","fleet":{"nx":0,"clients":1}}`,
+		`{"name":"x","fleet":{"nx":0,"clients":1},"events":[
+  {"at":"1s","action":"kill_tier","tier":"db"},
+  {"at":"1s","action":"kill_tier","tier":"app"},
+  {"at":"1s","action":"restore_tier","tier":"db"}]}`,
+		`{"name":"x","fleet":{"nx":0,"clients":1},"events":[
+  {"at":"1s","action":"logflush","tier":"db","interval":"9000h"}]}`,
+		`{"name":"x","fleet":{"nx":0,"clients":1},"events":[
+  {"at":"2s","action":"stop","id":"ghost"}]}`,
+		`{"name":"x","fleet":{"nx":0,"clients":1},"assertions":[
+  {"metric":"p99","max":"2s"},{"metric":"drops","observed":false}]}`,
+		`{"name":"x","fleet":{"nx":3,"clients":100,"mix":[
+  {"name":"Heavy","weight":1,"app_cpu":"5ms","db_queries":2,"db_cpu":"1ms"}]}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse("fuzz.json", data)
+		if err != nil {
+			return
+		}
+		out, err := doc.Marshal()
+		if err != nil {
+			t.Fatalf("accepted document does not marshal: %v", err)
+		}
+		doc2, err := Parse("fuzz2.json", out)
+		if err != nil {
+			t.Fatalf("marshalled form does not re-parse: %v\n%s", err, out)
+		}
+		out2, err := doc2.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Generate returns a random but always-valid stress scenario: a small
+// random fleet, a random standing fault, and a random timed failure
+// schedule, all drawn from the given seed and nothing else — the same
+// seed yields the same document, byte for byte. Generated scenarios are
+// deliberately short (a couple of simulated seconds, a few hundred
+// clients) so property tests can run hundreds of them, with the race
+// detector on, in ordinary test time.
+func Generate(seed int64) *Document {
+	rng := rand.New(rand.NewSource(seed))
+	doc := &Document{
+		Name:        fmt.Sprintf("generated-stress seed %d", seed),
+		Description: "seeded random fleet + failure schedule (scenario.Generate)",
+		Seed:        seed,
+		WarmUp:      randDuration(rng, 200*time.Millisecond, 500*time.Millisecond),
+		Duration:    randDuration(rng, time.Second, 2*time.Second),
+	}
+	doc.Fleet = Fleet{
+		NX:        rng.Intn(4),
+		Clients:   50 + rng.Intn(201),
+		ThinkTime: randDuration(rng, 100*time.Millisecond, 400*time.Millisecond),
+	}
+
+	// Occasionally squeeze a synchronous tier's queues so drops are
+	// reachable inside the short horizon.
+	if rng.Intn(4) == 0 {
+		ov := &TierOverride{
+			Threads: 10 + rng.Intn(40),
+			Backlog: 8 + rng.Intn(32),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			doc.Fleet.Web = ov
+		case 1:
+			doc.Fleet.App = ov
+		default:
+			doc.Fleet.DB = ov
+		}
+	}
+
+	// One standing fault, sized to fire several times within the run.
+	switch rng.Intn(3) {
+	case 0:
+		doc.Fleet.Consolidation = &Consolidation{
+			Tier:          randTier(rng),
+			BatchSize:     50 + rng.Intn(251),
+			BatchInterval: randDuration(rng, 400*time.Millisecond, 900*time.Millisecond),
+		}
+	case 1:
+		doc.Fleet.LogFlush = &LogFlush{
+			Tier:     randTier(rng),
+			Interval: randDuration(rng, 300*time.Millisecond, 700*time.Millisecond),
+			Duration: randDuration(rng, 50*time.Millisecond, 250*time.Millisecond),
+		}
+	default:
+		// No standing fault: the event script is the only disturbance.
+	}
+
+	doc.Events = generateEvents(rng, doc)
+
+	// Tautological floors keep the evaluation path exercised on every
+	// generated run without making pass/fail seed-dependent.
+	doc.Assertions = []Assertion{
+		{Metric: MetricFailed, Min: Number(0)},
+		{Metric: MetricMaxRT, Max: DurationBound(time.Hour)},
+	}
+	return doc
+}
+
+// generateEvents draws a random, schema-valid failure schedule.
+func generateEvents(rng *rand.Rand, doc *Document) []Event {
+	horizon := (doc.WarmUp + doc.Duration).D()
+	n := rng.Intn(4)
+	times := make([]time.Duration, n)
+	for i := range times {
+		times[i] = randDuration(rng, horizon/10, horizon*9/10).D()
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	var events []Event
+	killed := map[string]bool{}
+	hogs := 0
+	for _, at := range times {
+		switch rng.Intn(4) {
+		case 0:
+			hogs++
+			events = append(events, Event{
+				At:       Duration(at),
+				Action:   ActionCPUHog,
+				ID:       fmt.Sprintf("hog%d", hogs),
+				Tier:     randTier(rng),
+				Interval: randDuration(rng, 200*time.Millisecond, 600*time.Millisecond),
+				Demand:   randDuration(rng, 50*time.Millisecond, 400*time.Millisecond),
+			})
+		case 1:
+			events = append(events, Event{
+				At:       Duration(at),
+				Action:   ActionLogFlush,
+				Tier:     randTier(rng),
+				Interval: randDuration(rng, 200*time.Millisecond, 600*time.Millisecond),
+				Duration: randDuration(rng, 30*time.Millisecond, 200*time.Millisecond),
+			})
+		case 2:
+			tier := randTier(rng)
+			if killed[tier] {
+				// Already down: restore it instead, keeping the script valid.
+				events = append(events, Event{
+					At: Duration(at), Action: ActionRestoreTier, Tier: tier,
+				})
+				killed[tier] = false
+				continue
+			}
+			events = append(events, Event{
+				At: Duration(at), Action: ActionKillTier, Tier: tier,
+			})
+			killed[tier] = true
+		default:
+			if doc.Fleet.NX <= 1 {
+				// NX 0/1 fleets have a JDBC pool to squeeze.
+				events = append(events, Event{
+					At:     Duration(at),
+					Action: ActionResizePool,
+					Size:   5 + rng.Intn(46),
+				})
+				continue
+			}
+			events = append(events, Event{
+				At:     Duration(at),
+				Action: ActionShiftMix,
+				Mix: []MixEntry{
+					{Class: "ViewStory", Weight: 0.5},
+					{Class: "StoreComment", Weight: 0.5},
+				},
+			})
+		}
+	}
+
+	// Kills without a scheduled restore come back up just before the end,
+	// so a generated run never measures a dead system to the horizon.
+	restoreAt := Duration(horizon * 19 / 20)
+	for _, tier := range []string{TierWeb, TierApp, TierDB} {
+		if killed[tier] {
+			events = append(events, Event{
+				At: restoreAt, Action: ActionRestoreTier, Tier: tier,
+			})
+		}
+	}
+	return events
+}
+
+func randTier(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return TierWeb
+	case 1:
+		return TierApp
+	default:
+		return TierDB
+	}
+}
+
+// randDuration draws uniformly from [lo, hi], rounded to 1ms so
+// generated files stay human-readable.
+func randDuration(rng *rand.Rand, lo, hi time.Duration) Duration {
+	if hi <= lo {
+		return Duration(lo)
+	}
+	d := lo + time.Duration(rng.Int63n(int64(hi-lo)+1))
+	return Duration(d.Round(time.Millisecond))
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// topLevelSections enumerates the legal top-level keys of a scenario
+// file, used to report unknown sections by name.
+var topLevelSections = map[string]bool{
+	"name": true, "description": true, "seed": true,
+	"warmup": true, "duration": true, "sample_interval": true,
+	"trace": true, "spans": true,
+	"fleet": true, "events": true, "assertions": true,
+}
+
+// Parse reads one scenario document from data. The name (typically the
+// file name) prefixes every error so multi-file tooling stays readable.
+// Unknown fields are rejected, and errors name the section ("fleet:",
+// "events[3]:", "assertions[0]:") they came from.
+func Parse(name string, data []byte) (*Document, error) {
+	fail := func(section string, err error) (*Document, error) {
+		if section == "" {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		return nil, fmt.Errorf("%s: %s: %v", name, section, err)
+	}
+
+	var raw map[string]json.RawMessage
+	if err := strictUnmarshal(data, &raw); err != nil {
+		return fail("", err)
+	}
+	var unknown []string
+	for key := range raw {
+		if !topLevelSections[key] {
+			unknown = append(unknown, key)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fail("", fmt.Errorf("unknown top-level section %q", unknown[0]))
+	}
+
+	doc := &Document{}
+	scalars := []struct {
+		key string
+		dst any
+	}{
+		{"name", &doc.Name},
+		{"description", &doc.Description},
+		{"seed", &doc.Seed},
+		{"warmup", &doc.WarmUp},
+		{"duration", &doc.Duration},
+		{"sample_interval", &doc.SampleInterval},
+		{"trace", &doc.Trace},
+		{"spans", &doc.Spans},
+	}
+	for _, s := range scalars {
+		if msg, ok := raw[s.key]; ok {
+			if err := strictUnmarshal(msg, s.dst); err != nil {
+				return fail(s.key, err)
+			}
+		}
+	}
+
+	if msg, ok := raw["fleet"]; ok {
+		if err := strictUnmarshal(msg, &doc.Fleet); err != nil {
+			return fail("fleet", err)
+		}
+	}
+
+	if msg, ok := raw["events"]; ok {
+		var items []json.RawMessage
+		if err := strictUnmarshal(msg, &items); err != nil {
+			return fail("events", err)
+		}
+		doc.Events = make([]Event, len(items))
+		for i, item := range items {
+			if err := strictUnmarshal(item, &doc.Events[i]); err != nil {
+				return fail(fmt.Sprintf("events[%d]", i), err)
+			}
+		}
+	}
+
+	if msg, ok := raw["assertions"]; ok {
+		var items []json.RawMessage
+		if err := strictUnmarshal(msg, &items); err != nil {
+			return fail("assertions", err)
+		}
+		doc.Assertions = make([]Assertion, len(items))
+		for i, item := range items {
+			if err := strictUnmarshal(item, &doc.Assertions[i]); err != nil {
+				return fail(fmt.Sprintf("assertions[%d]", i), err)
+			}
+		}
+	}
+
+	if err := doc.Validate(); err != nil {
+		return fail("", err)
+	}
+	return doc, nil
+}
+
+// strictUnmarshal decodes exactly one JSON value, rejecting unknown
+// struct fields and trailing garbage.
+func strictUnmarshal(data []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// Marshal renders a document as indented JSON, the round-trippable file
+// form the generator and authoring tools emit.
+func (d *Document) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

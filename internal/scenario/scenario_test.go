@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// minimal returns the smallest valid document text.
+func minimal() string {
+	return `{"name": "t", "fleet": {"nx": 0, "clients": 100}}`
+}
+
+func TestParseMinimal(t *testing.T) {
+	doc, err := Parse("t.json", []byte(minimal()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Name != "t" || doc.Fleet.Clients != 100 {
+		t.Errorf("unexpected doc: %+v", doc)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	text := `{
+  "name": "full",
+  "description": "every section",
+  "seed": 7,
+  "warmup": "1s",
+  "duration": "10s",
+  "trace": true,
+  "spans": true,
+  "fleet": {
+    "nx": 1,
+    "clients": 500,
+    "think_time": "500ms",
+    "app_cores": 2,
+    "web": {"arch": "sync", "threads": 32, "backlog": 16},
+    "mix": [
+      {"class": "ViewStory", "weight": 0.6},
+      {"name": "Heavy", "weight": 0.4, "app_cpu": "2ms", "db_queries": 1, "db_cpu": "1ms"}
+    ],
+    "consolidation": {"tier": "app", "batch_size": 300, "batch_interval": "2s"},
+    "logflush": {"tier": "db", "interval": "3s", "duration": "200ms"}
+  },
+  "events": [
+    {"at": "2s", "action": "cpuhog", "id": "hog", "tier": "app", "interval": "1s", "demand": "300ms"},
+    {"at": "4s", "action": "kill_tier", "tier": "db"},
+    {"at": "5s", "action": "restore_tier", "tier": "db"},
+    {"at": "6s", "action": "resize_pool", "size": 10},
+    {"at": "7s", "action": "shift_mix", "mix": [{"class": "StoreComment", "weight": 1}]},
+    {"at": "8s", "action": "stop", "id": "hog"}
+  ],
+  "assertions": [
+    {"metric": "drops", "observed": true},
+    {"metric": "vlrt", "min": 1, "max": 500},
+    {"metric": "p99", "max": "2s"},
+    {"metric": "throughput", "min": 100}
+  ]
+}`
+	doc, err := Parse("full.json", []byte(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(doc.Events) != 6 || len(doc.Assertions) != 4 {
+		t.Fatalf("got %d events, %d assertions", len(doc.Events), len(doc.Assertions))
+	}
+	if doc.Events[0].Demand.D() != 300*time.Millisecond {
+		t.Errorf("demand = %v", doc.Events[0].Demand.D())
+	}
+	if !doc.Assertions[2].Max.IsDuration() || doc.Assertions[2].Max.Dur() != 2*time.Second {
+		t.Errorf("p99 max = %v", doc.Assertions[2].Max)
+	}
+}
+
+func TestParseErrorsCarryContext(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"malformed", `{`, "mal.json:"},
+		{"unknown section", `{"name":"x","fleet":{"nx":0,"clients":1},"bogus":1}`, `unknown top-level section "bogus"`},
+		{"unknown fleet field", `{"name":"x","fleet":{"nx":0,"clients":1,"clientz":2}}`, `fleet: json: unknown field "clientz"`},
+		{"unknown event field", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"1s","action":"kill_tier","tier":"db","whom":1}]}`, `events[0]: json: unknown field "whom"`},
+		{"bad duration", `{"name":"x","duration":"fast","fleet":{"nx":0,"clients":1}}`, `duration: bad duration "fast"`},
+		{"numeric duration", `{"name":"x","duration":5,"fleet":{"nx":0,"clients":1}}`, "duration must be a string"},
+		{"no name", `{"fleet":{"nx":0,"clients":1}}`, "name: required"},
+		{"no clients", `{"name":"x","fleet":{"nx":0}}`, "clients: must be > 0"},
+		{"bad nx", `{"name":"x","fleet":{"nx":4,"clients":1}}`, "nx: must be 0..3"},
+		{"negative at", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"-1s","action":"kill_tier","tier":"db"}]}`, "events[0]: at: must be >= 0"},
+		{"unsorted events", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"2s","action":"kill_tier","tier":"db"},{"at":"1s","action":"restore_tier","tier":"db"}]}`, "events[1]: at: 1s fires before"},
+		{"event after end", `{"name":"x","duration":"2s","fleet":{"nx":0,"clients":1},"events":[{"at":"1h","action":"kill_tier","tier":"db"}]}`, "after the run ends"},
+		{"oversized duration", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"1s","action":"logflush","tier":"db","interval":"2h"}]}`, "exceeds the 1h0m0s bound"},
+		{"stop without start", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"1s","action":"stop","id":"nope"}]}`, `"nope" does not name an earlier injector`},
+		{"restore without kill", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"1s","action":"restore_tier","tier":"db"}]}`, `"db" was not killed`},
+		{"double kill", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"1s","action":"kill_tier","tier":"db"},{"at":"2s","action":"kill_tier","tier":"db"}]}`, "already killed"},
+		{"bad action", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"1s","action":"explode"}]}`, `unknown action "explode"`},
+		{"bad tier", `{"name":"x","fleet":{"nx":0,"clients":1},"events":[{"at":"1s","action":"kill_tier","tier":"cache"}]}`, `unknown tier "cache"`},
+		{"bad metric", `{"name":"x","fleet":{"nx":0,"clients":1},"assertions":[{"metric":"latency","max":1}]}`, `unknown metric "latency"`},
+		{"vacuous assertion", `{"name":"x","fleet":{"nx":0,"clients":1},"assertions":[{"metric":"vlrt"}]}`, "asserts nothing"},
+		{"duration bound on count", `{"name":"x","fleet":{"nx":0,"clients":1},"assertions":[{"metric":"vlrt","max":"2s"}]}`, "max must be a number"},
+		{"number bound on quantile", `{"name":"x","fleet":{"nx":0,"clients":1},"assertions":[{"metric":"p99","max":2}]}`, "max must be a duration string"},
+		{"crossed bounds", `{"name":"x","fleet":{"nx":0,"clients":1},"assertions":[{"metric":"vlrt","min":5,"max":1}]}`, "min 5 exceeds max 1"},
+		{"unknown class", `{"name":"x","fleet":{"nx":0,"clients":1,"mix":[{"class":"Nope","weight":1}]}}`, `unknown built-in class "Nope"`},
+		{"inline without demand", `{"name":"x","fleet":{"nx":0,"clients":1,"mix":[{"name":"N","weight":1}]}}`, "no CPU demand"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("mal.json", []byte(tc.text))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "mal.json: ") {
+				t.Errorf("error %q lacks the file prefix", err)
+			}
+		})
+	}
+}
+
+func TestDuplicateEventTimestampsAllowed(t *testing.T) {
+	text := `{"name":"x","fleet":{"nx":0,"clients":1},"events":[
+  {"at":"1s","action":"kill_tier","tier":"db"},
+  {"at":"1s","action":"kill_tier","tier":"app"}]}`
+	if _, err := Parse("dup.json", []byte(text)); err != nil {
+		t.Fatalf("equal timestamps must be legal (file order breaks the tie): %v", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	doc, err := Parse("t.json", []byte(minimal()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	data, err := doc.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	doc2, err := Parse("t2.json", data)
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, data)
+	}
+	data2, err := doc2.Marshal()
+	if err != nil {
+		t.Fatalf("re-Marshal: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	obs := func(b bool) *bool { return &b }
+	out := Outcome{
+		Throughput:     950,
+		VLRT:           42,
+		Failed:         0,
+		TotalDrops:     120,
+		DropsPerServer: map[string]int64{"steady-apache": 120},
+		P99:            1800 * time.Millisecond,
+		MaxRT:          6 * time.Second,
+	}
+	tests := []struct {
+		a    Assertion
+		pass bool
+	}{
+		{Assertion{Metric: MetricDrops, Observed: obs(true)}, true},
+		{Assertion{Metric: MetricDrops, Observed: obs(false)}, false},
+		{Assertion{Metric: MetricDrops, Server: "steady-apache", Min: Number(100)}, true},
+		{Assertion{Metric: MetricDrops, Server: "steady-mysql", Observed: obs(false)}, true},
+		{Assertion{Metric: MetricVLRT, Min: Number(1), Max: Number(100)}, true},
+		{Assertion{Metric: MetricVLRT, Max: Number(10)}, false},
+		{Assertion{Metric: MetricThroughput, Min: Number(900)}, true},
+		{Assertion{Metric: MetricThroughput, Min: Number(1000)}, false},
+		{Assertion{Metric: MetricP99, Max: DurationBound(2 * time.Second)}, true},
+		{Assertion{Metric: MetricP99, Max: DurationBound(time.Second)}, false},
+		{Assertion{Metric: MetricMaxRT, Min: DurationBound(3 * time.Second)}, true},
+		{Assertion{Metric: MetricFailed, Max: Number(0)}, true},
+	}
+	var all []Assertion
+	for _, tc := range tests {
+		all = append(all, tc.a)
+	}
+	rep := Evaluate(all, out)
+	for i, tc := range tests {
+		if rep.Results[i].Pass != tc.pass {
+			t.Errorf("%v: pass = %v, want %v (got %s)",
+				tc.a, rep.Results[i].Pass, tc.pass, rep.Results[i].Got)
+		}
+	}
+	if rep.Pass() {
+		t.Error("report with failures must not Pass")
+	}
+	if got := rep.Failed(); got != 4 {
+		t.Errorf("Failed() = %d, want 4", got)
+	}
+	if !strings.Contains(rep.String(), "8/12 assertions passed") {
+		t.Errorf("report summary wrong:\n%s", rep.String())
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := Generate(seed)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated document invalid: %v", seed, err)
+		}
+		da, err := a.Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: Marshal: %v", seed, err)
+		}
+		db, err := Generate(seed).Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: Marshal: %v", seed, err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+		// The file form must survive a parse round trip.
+		if _, err := Parse("gen.json", da); err != nil {
+			t.Fatalf("seed %d: generated file does not parse: %v\n%s", seed, err, da)
+		}
+	}
+	a, b := Generate(1).Name, Generate(2).Name
+	if a == b {
+		t.Errorf("distinct seeds produced the same name %q", a)
+	}
+}

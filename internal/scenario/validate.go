@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"fmt"
+)
+
+// MaxEventHorizon bounds event times and injector periods so a typo
+// ("3000s" for "300ms") cannot schedule a script that silently never
+// fires or a timer that wraps the run many times over.
+const MaxEventHorizon = Duration(3600e9) // one simulated hour
+
+// builtinClasses are the interaction names a MixEntry may reference.
+var builtinClasses = map[string]bool{
+	"Static": true, "StoriesOfTheDay": true, "ViewStory": true,
+	"ViewComment": true, "StoreComment": true, "SubmitStory": true,
+	"BurstQuery": true,
+}
+
+// BuiltinClass reports whether name is a referenceable built-in
+// interaction class.
+func BuiltinClass(name string) bool { return builtinClasses[name] }
+
+// Validate checks the document's internal consistency: required fields,
+// tier and action names, duration signs and bounds, event ordering
+// (non-decreasing sim times, stops after their starts, restores after
+// their kills), and assertion shape. Compile-time concerns that need the
+// engine (e.g. whether the fleet actually has a connection pool to
+// resize) are checked by core.FromScenario instead.
+func (d *Document) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("name: required")
+	}
+	if d.Seed < 0 {
+		return fmt.Errorf("seed: must be >= 0, got %d", d.Seed)
+	}
+	for _, f := range []struct {
+		name string
+		d    Duration
+	}{
+		{"warmup", d.WarmUp},
+		{"duration", d.Duration},
+		{"sample_interval", d.SampleInterval},
+	} {
+		if f.d < 0 {
+			return fmt.Errorf("%s: must be >= 0, got %v", f.name, f.d.D())
+		}
+		if f.d > MaxEventHorizon {
+			return fmt.Errorf("%s: %v exceeds the %v bound", f.name, f.d.D(), MaxEventHorizon.D())
+		}
+	}
+	if err := d.Fleet.validate(); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if err := d.validateEvents(); err != nil {
+		return err
+	}
+	for i := range d.Assertions {
+		if err := d.Assertions[i].validate(); err != nil {
+			return fmt.Errorf("assertions[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f *Fleet) validate() error {
+	if f.NX < 0 || f.NX > 3 {
+		return fmt.Errorf("nx: must be 0..3, got %d", f.NX)
+	}
+	if f.Clients <= 0 {
+		return fmt.Errorf("clients: must be > 0, got %d", f.Clients)
+	}
+	if f.ThinkTime < 0 {
+		return fmt.Errorf("think_time: must be >= 0, got %v", f.ThinkTime.D())
+	}
+	if f.AppCores < 0 {
+		return fmt.Errorf("app_cores: must be >= 0, got %g", f.AppCores)
+	}
+	if f.ThreadOverride < 0 {
+		return fmt.Errorf("thread_override: must be >= 0, got %d", f.ThreadOverride)
+	}
+	if f.OverheadPerThread < 0 {
+		return fmt.Errorf("overhead_per_thread: must be >= 0, got %g", f.OverheadPerThread)
+	}
+	for _, t := range []struct {
+		name string
+		ov   *TierOverride
+	}{{"web", f.Web}, {"app", f.App}, {"db", f.DB}} {
+		if t.ov == nil {
+			continue
+		}
+		if err := t.ov.validate(); err != nil {
+			return fmt.Errorf("%s: %w", t.name, err)
+		}
+	}
+	if err := validateMix("mix", f.Mix, false); err != nil {
+		return err
+	}
+	if f.Burst != nil && f.Burst.Epoch < 0 {
+		return fmt.Errorf("burst.epoch: must be >= 0, got %v", f.Burst.Epoch.D())
+	}
+	if c := f.Consolidation; c != nil {
+		if c.Tier != "" && !ValidTier(c.Tier) {
+			return fmt.Errorf("consolidation.tier: unknown tier %q", c.Tier)
+		}
+		for _, fd := range []struct {
+			name string
+			d    Duration
+		}{
+			{"consolidation.batch_interval", c.BatchInterval},
+			{"consolidation.batch_offset", c.BatchOffset},
+			{"consolidation.train_spacing", c.TrainSpacing},
+		} {
+			if fd.d < 0 {
+				return fmt.Errorf("%s: must be >= 0, got %v", fd.name, fd.d.D())
+			}
+		}
+		if c.BatchSize < 0 {
+			return fmt.Errorf("consolidation.batch_size: must be >= 0, got %d", c.BatchSize)
+		}
+		if c.TrainLength < 0 {
+			return fmt.Errorf("consolidation.train_length: must be >= 0, got %d", c.TrainLength)
+		}
+		if c.MMPPIndex < 0 {
+			return fmt.Errorf("consolidation.mmpp_index: must be >= 0, got %g", c.MMPPIndex)
+		}
+	}
+	if lf := f.LogFlush; lf != nil {
+		if lf.Tier != "" && !ValidTier(lf.Tier) {
+			return fmt.Errorf("logflush.tier: unknown tier %q", lf.Tier)
+		}
+		if lf.Interval < 0 || lf.Duration < 0 {
+			return fmt.Errorf("logflush: interval and duration must be >= 0")
+		}
+	}
+	if gc := f.GCPause; gc != nil {
+		if gc.Tier != "" && !ValidTier(gc.Tier) {
+			return fmt.Errorf("gcpause.tier: unknown tier %q", gc.Tier)
+		}
+		if gc.Interval < 0 || gc.Base < 0 || gc.PerRequest < 0 {
+			return fmt.Errorf("gcpause: interval, base and per_request must be >= 0")
+		}
+	}
+	return nil
+}
+
+func (t *TierOverride) validate() error {
+	switch t.Arch {
+	case "", "sync", "async":
+	default:
+		return fmt.Errorf("arch: want \"sync\" or \"async\", got %q", t.Arch)
+	}
+	if t.Threads < 0 || t.Backlog < 0 || t.LiteQDepth < 0 {
+		return fmt.Errorf("threads, backlog and liteq_depth must be >= 0")
+	}
+	if t.Cores < 0 {
+		return fmt.Errorf("cores: must be >= 0, got %g", t.Cores)
+	}
+	return nil
+}
+
+// validateMix checks one weighted class list; required demands a
+// non-empty list.
+func validateMix(section string, mix []MixEntry, required bool) error {
+	if required && len(mix) == 0 {
+		return fmt.Errorf("%s: must not be empty", section)
+	}
+	for i, e := range mix {
+		if e.Weight <= 0 {
+			return fmt.Errorf("%s[%d]: weight must be > 0, got %g", section, i, e.Weight)
+		}
+		if e.Class != "" {
+			if !BuiltinClass(e.Class) {
+				return fmt.Errorf("%s[%d]: unknown built-in class %q", section, i, e.Class)
+			}
+			if e.Name != "" || e.Static || e.WebCPU != 0 || e.AppCPU != 0 ||
+				e.DBQueries != 0 || e.DBCPU != 0 {
+				return fmt.Errorf("%s[%d]: class reference %q must not set inline demand fields", section, i, e.Class)
+			}
+			continue
+		}
+		if e.Name == "" {
+			return fmt.Errorf("%s[%d]: inline class needs a name (or reference a built-in via \"class\")", section, i)
+		}
+		if e.WebCPU < 0 || e.AppCPU < 0 || e.DBCPU < 0 || e.DBQueries < 0 {
+			return fmt.Errorf("%s[%d]: inline demands must be >= 0", section, i)
+		}
+		if e.WebCPU == 0 && e.AppCPU == 0 && (e.DBQueries == 0 || e.DBCPU == 0) {
+			return fmt.Errorf("%s[%d]: inline class %q has no CPU demand anywhere", section, i, e.Name)
+		}
+	}
+	return nil
+}
+
+// validActions mirrors the Actions list for membership checks.
+var validActions = func() map[string]bool {
+	m := make(map[string]bool, len(Actions))
+	for _, a := range Actions {
+		m[a] = true
+	}
+	return m
+}()
+
+func (d *Document) validateEvents() error {
+	started := map[string]int{} // injector id -> defining event index
+	killed := map[string]bool{} // tier -> currently killed
+	var prev Duration
+	for i := range d.Events {
+		ev := &d.Events[i]
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("events[%d]: %s", i, fmt.Sprintf(format, args...))
+		}
+		if !validActions[ev.Action] {
+			return fail("unknown action %q (want one of %v)", ev.Action, Actions)
+		}
+		if ev.At < 0 {
+			return fail("at: must be >= 0, got %v", ev.At.D())
+		}
+		if ev.At > MaxEventHorizon {
+			return fail("at: %v exceeds the %v bound", ev.At.D(), MaxEventHorizon.D())
+		}
+		if ev.At < prev {
+			return fail("at: %v fires before the preceding event at %v; the script must be sim-time ordered", ev.At.D(), prev.D())
+		}
+		prev = ev.At
+		if d.Duration > 0 && ev.At > d.WarmUp+d.Duration {
+			return fail("at: %v is after the run ends at %v", ev.At.D(), (d.WarmUp + d.Duration).D())
+		}
+		for _, fd := range []struct {
+			name string
+			d    Duration
+		}{
+			{"interval", ev.Interval}, {"duration", ev.Duration},
+			{"demand", ev.Demand}, {"base", ev.Base},
+			{"per_request", ev.PerRequest},
+		} {
+			if fd.d < 0 {
+				return fail("%s: must be >= 0, got %v", fd.name, fd.d.D())
+			}
+			if fd.d > MaxEventHorizon {
+				return fail("%s: %v exceeds the %v bound", fd.name, fd.d.D(), MaxEventHorizon.D())
+			}
+		}
+
+		needsTier := func() error {
+			if ev.Tier == "" {
+				return fail("tier: required for %s", ev.Action)
+			}
+			if !ValidTier(ev.Tier) {
+				return fail("tier: unknown tier %q", ev.Tier)
+			}
+			return nil
+		}
+		switch ev.Action {
+		case ActionLogFlush:
+			if err := needsTier(); err != nil {
+				return err
+			}
+		case ActionCPUHog:
+			if err := needsTier(); err != nil {
+				return err
+			}
+			if ev.Interval <= 0 || ev.Demand <= 0 {
+				return fail("cpuhog needs interval > 0 and demand > 0")
+			}
+		case ActionGCPause:
+			if err := needsTier(); err != nil {
+				return err
+			}
+		case ActionStop:
+			if ev.ID == "" {
+				return fail("id: required for stop")
+			}
+			if _, ok := started[ev.ID]; !ok {
+				return fail("id: %q does not name an earlier injector event", ev.ID)
+			}
+		case ActionKillTier:
+			if err := needsTier(); err != nil {
+				return err
+			}
+			if killed[ev.Tier] {
+				return fail("tier %q is already killed", ev.Tier)
+			}
+			killed[ev.Tier] = true
+		case ActionRestoreTier:
+			if err := needsTier(); err != nil {
+				return err
+			}
+			if !killed[ev.Tier] {
+				return fail("tier %q was not killed by an earlier event", ev.Tier)
+			}
+			killed[ev.Tier] = false
+		case ActionResizePool:
+			if ev.Size <= 0 {
+				return fail("size: must be > 0 for resize_pool, got %d", ev.Size)
+			}
+		case ActionShiftMix:
+			if err := validateMix("mix", ev.Mix, true); err != nil {
+				return fail("%v", err)
+			}
+		}
+
+		if ev.ID != "" {
+			switch ev.Action {
+			case ActionLogFlush, ActionCPUHog, ActionGCPause:
+				if _, dup := started[ev.ID]; dup {
+					return fail("id: %q reuses an earlier injector id", ev.ID)
+				}
+				started[ev.ID] = i
+			case ActionStop:
+				// Stop references an id; it does not define one.
+			default:
+				return fail("id: only injector events (logflush, cpuhog, gcpause) and stop take an id")
+			}
+		}
+	}
+	return nil
+}

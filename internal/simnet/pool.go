@@ -45,9 +45,10 @@ func (p *ConnPool) Acquire(fn func()) bool {
 }
 
 // Release returns a connection to the pool, handing it to the oldest waiter
-// if any.
+// if any. After a shrinking Resize the freed connection is retired instead
+// of handed on, until the pool drains down to its new capacity.
 func (p *ConnPool) Release() {
-	if len(p.waiters) > 0 {
+	if len(p.waiters) > 0 && p.inUse <= p.size {
 		next := p.waiters[0]
 		copy(p.waiters, p.waiters[1:])
 		p.waiters[len(p.waiters)-1] = nil
@@ -57,6 +58,26 @@ func (p *ConnPool) Release() {
 	}
 	if p.inUse > 0 {
 		p.inUse--
+	}
+}
+
+// Resize changes the pool capacity mid-run — the scenario engine's
+// resize_pool event. Growing admits queued waiters (FIFO, synchronously)
+// until the new capacity is reached; shrinking lets connections above the
+// new capacity retire as they are released, never revoking one in use.
+// Sizes below 1 are clamped to 1, matching NewConnPool.
+func (p *ConnPool) Resize(size int) {
+	if size < 1 {
+		size = 1
+	}
+	p.size = size
+	for len(p.waiters) > 0 && p.inUse < p.size {
+		next := p.waiters[0]
+		copy(p.waiters, p.waiters[1:])
+		p.waiters[len(p.waiters)-1] = nil
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		p.inUse++
+		next()
 	}
 }
 

@@ -448,3 +448,69 @@ func TestNetworkLatencyAppliesToRetransmits(t *testing.T) {
 		t.Fatalf("replied at %v, want %v", repliedAt, want)
 	}
 }
+
+func TestConnPoolResizeGrowAdmitsWaiters(t *testing.T) {
+	p := NewConnPool(1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		p.Acquire(func() { order = append(order, i) })
+	}
+	if len(order) != 1 || p.Waiting() != 3 {
+		t.Fatalf("order = %v, waiting = %d; want 1 admitted, 3 queued", order, p.Waiting())
+	}
+	p.Resize(3)
+	// Growing to 3 admits the two oldest waiters, FIFO.
+	if got, want := len(order), 3; got != want {
+		t.Fatalf("admitted %d after grow, want %d (order %v)", got, want, order)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if order[i] != want {
+			t.Fatalf("order = %v, want FIFO admission", order)
+		}
+	}
+	if p.InUse() != 3 || p.Waiting() != 1 {
+		t.Fatalf("inUse = %d, waiting = %d; want 3 and 1", p.InUse(), p.Waiting())
+	}
+	p.Release() // hands to the last waiter
+	if len(order) != 4 || p.InUse() != 3 {
+		t.Fatalf("after release: order = %v, inUse = %d", order, p.InUse())
+	}
+}
+
+func TestConnPoolResizeShrinkRetiresOnRelease(t *testing.T) {
+	p := NewConnPool(3)
+	for i := 0; i < 3; i++ {
+		p.Acquire(func() {})
+	}
+	waited := false
+	p.Acquire(func() { waited = true })
+	p.Resize(1)
+	if p.InUse() != 3 {
+		t.Fatalf("resize revoked a held connection: inUse = %d", p.InUse())
+	}
+	// Above capacity: releases retire connections instead of serving the
+	// waiter.
+	p.Release()
+	p.Release()
+	if waited || p.InUse() != 1 {
+		t.Fatalf("waited = %v, inUse = %d; want waiter still queued at capacity", waited, p.InUse())
+	}
+	// At capacity: the next release hands its connection to the waiter.
+	p.Release()
+	if !waited || p.InUse() != 1 {
+		t.Fatalf("waited = %v, inUse = %d; want waiter served, pool full", waited, p.InUse())
+	}
+}
+
+func TestConnPoolResizeClampsToOne(t *testing.T) {
+	p := NewConnPool(2)
+	p.Resize(0)
+	if p.Size() != 1 {
+		t.Fatalf("size = %d, want 1", p.Size())
+	}
+	p.Resize(-5)
+	if p.Size() != 1 {
+		t.Fatalf("size = %d, want 1", p.Size())
+	}
+}

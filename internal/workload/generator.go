@@ -109,6 +109,18 @@ func (c *ClosedLoop) Start() {
 // cycle.
 func (c *ClosedLoop) Stop() { c.stopped = true }
 
+// SetMix swaps the interaction mix — the scenario engine's shift_mix
+// event. Clients draw from the mix per request, so the change takes
+// effect at each client's next cycle. A nil mix is ignored. When a
+// session model drives the population, the mix is unused and SetMix has
+// no visible effect.
+func (c *ClosedLoop) SetMix(m *Mix) {
+	if m == nil {
+		return
+	}
+	c.cfg.Mix = m
+}
+
 // Sent returns the number of requests sent so far.
 func (c *ClosedLoop) Sent() int64 { return c.sent }
 

@@ -360,3 +360,33 @@ func TestSubmissionMixHeavierOnDB(t *testing.T) {
 		t.Fatalf("submission mix app demand %v below browse-only %v", appW, appR)
 	}
 }
+
+func TestSetMixTakesEffectNextCycle(t *testing.T) {
+	sim := des.NewSimulator(1)
+	srv := &instantServer{sim: sim}
+
+	counts := make(map[string]int)
+	cl := NewClosedLoop(sim, front(sim, srv), ClosedLoopConfig{
+		Clients:   20,
+		ThinkTime: 10 * time.Millisecond,
+		Mix:       NewMix().Add(Class{Name: "before"}, 1),
+		Sink: SinkFunc(func(r *Request) {
+			counts[r.Class.Name]++
+		}),
+	})
+	cl.Start()
+	sim.Schedule(time.Second, func() {
+		cl.SetMix(NewMix().Add(Class{Name: "after"}, 1))
+	})
+	if err := sim.Run(2 * time.Second); err != nil && err != des.ErrHorizon {
+		t.Fatalf("Run: %v", err)
+	}
+	if counts["before"] == 0 || counts["after"] == 0 {
+		t.Fatalf("counts = %v, want both classes seen", counts)
+	}
+	// SetMix(nil) must not clear the mix.
+	cl.SetMix(nil)
+	if cl.cfg.Mix == nil {
+		t.Fatal("SetMix(nil) cleared the mix")
+	}
+}
