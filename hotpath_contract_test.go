@@ -53,19 +53,31 @@ var hotpathKernelDirs = []string{
 // hotpathExercisers maps every annotated function (package.Receiver.Name
 // or package.Name) to the exerciser group that drives it dynamically.
 var hotpathExercisers = map[string]string{
-	// DES kernel: Post/Run drive the whole pooled scheduling loop.
+	// DES kernel: Post/Run drive the whole pooled near-term scheduling
+	// loop (enqueue, heap sifts, settle, fire); far 3 s/6 s/20 min posts
+	// drive the timer-wheel path through placement, promotion, cascade
+	// and the node pool.
 	"des.Simulator.Post":    "des-event-loop",
 	"des.Simulator.PostAt":  "des-event-loop",
 	"des.Simulator.take":    "des-event-loop",
 	"des.Simulator.release": "des-event-loop",
+	"des.Simulator.enqueue": "des-event-loop",
+	"des.Simulator.settle":  "des-event-loop",
+	"des.Simulator.fire":    "des-event-loop",
 	"des.Simulator.Step":    "des-event-loop",
 	"des.Simulator.Run":     "des-event-loop",
 	"des.Simulator.Cancel":  "des-cancel",
-	"des.eventHeap.Len":     "des-event-loop",
-	"des.eventHeap.Less":    "des-event-loop",
-	"des.eventHeap.Swap":    "des-event-loop",
-	"des.eventHeap.Push":    "des-event-loop",
-	"des.eventHeap.Pop":     "des-event-loop",
+	"des.heapNode.before":   "des-event-loop",
+	"des.heap4.push":        "des-event-loop",
+	"des.heap4.pop":         "des-event-loop",
+	"des.heap4.siftDown":    "des-event-loop",
+	"des.wheel.resident":    "des-wheel",
+	"des.wheel.takeNode":    "des-wheel",
+	"des.wheel.putNode":     "des-wheel",
+	"des.wheel.place":       "des-wheel",
+	"des.wheel.promote":     "des-wheel",
+	"des.wheel.cascades":    "des-wheel",
+	"des.wheel.spill":       "des-wheel",
 
 	// simnet: clean delivery covers Send/deliverCall/attempt/hop; a
 	// dropped-then-delivered call covers the retransmission machinery.
@@ -262,6 +274,27 @@ func TestHotpathAllocsAgree(t *testing.T) {
 				}
 				sim.Run(sim.Now() + time.Millisecond)
 			})
+		},
+		"des-wheel": func() float64 {
+			// Posts at 5 ms (wheel level 0), 3 s (level 1, the RTO
+			// shape), 30 s (level 2) and 20 min (overflow) exercise
+			// every wheel container; Run then drags the promotion
+			// horizon across them, driving promote, both spill levels
+			// and the overflow rescue. One warm pass grows the node
+			// pool and the heap's backing array.
+			sim := des.NewSimulator(1)
+			n := 0
+			drive := func() {
+				for i := 0; i < 8; i++ {
+					sim.Post(5*time.Millisecond+time.Duration(i)*time.Microsecond, contractBump, &n, nil)
+					sim.Post(3*time.Second+time.Duration(i)*time.Millisecond, contractBump, &n, nil)
+					sim.Post(30*time.Second+time.Duration(i)*time.Millisecond, contractBump, &n, nil)
+					sim.Post(20*time.Minute+time.Duration(i)*time.Millisecond, contractBump, &n, nil)
+				}
+				sim.Run(sim.Now() + 21*time.Minute)
+			}
+			drive()
+			return testing.AllocsPerRun(200, drive)
 		},
 		"des-cancel": func() float64 {
 			sim := des.NewSimulator(1)

@@ -68,3 +68,31 @@ func BenchmarkEventLoopPost(b *testing.B) {
 	for sim.Step() {
 	}
 }
+
+// BenchmarkEventLoopRTO100k is the paper's tail mechanism as a scheduler
+// stress: 100k pending 3 s RTO retransmission timers, spaced 30 µs apart
+// so the population stays at 100k while each iteration posts one fresh
+// RTO and fires the oldest. Under the old binary heap every operation
+// paid O(log 100k) sifts through the full timer population; with the
+// wheel the resident RTOs cost O(1) to park and the near-term heap stays
+// small.
+func BenchmarkEventLoopRTO100k(b *testing.B) {
+	const rto = 3 * time.Second
+	const spacing = 30 * time.Microsecond
+	sim := NewSimulator(1)
+	c := &benchCounter{}
+	for i := 0; i < 100_000; i++ {
+		sim.PostAt(sim.Now()+time.Duration(i)*spacing+rto, benchBump, c, nil)
+	}
+	// Advance to the first timer's due instant so each iteration's Step
+	// fires exactly one timer while 100k remain pending.
+	for sim.Now() < rto {
+		sim.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Post(rto, benchBump, c, nil)
+		sim.Step()
+	}
+}

@@ -5,13 +5,21 @@
 // were scheduled (stable FIFO tie-breaking), so a simulation is fully
 // reproducible given the same inputs and RNG seed.
 //
+// The scheduler is split by distance-to-due: events park in a three-level
+// hierarchical timer wheel (wheel.go) for O(1) insertion — the paper's
+// 3 s RTO retransmissions above all — and are promoted one 65 µs bucket
+// at a time into a cache-friendly 4-ary min-heap (heap4.go) that only
+// ever orders the events about to fire. Cancellation is O(1) and lazy: a
+// cancelled event becomes a tombstone, dropped when the scheduler
+// reaches it. DESIGN.md §14 describes the structure and its determinism
+// argument.
+//
 // The kernel is intentionally single-threaded: all model code runs on the
 // caller's goroutine inside Run/Step. This makes simulations deterministic
 // and fast, and lets models share state without locks.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
 	"time"
@@ -21,16 +29,23 @@ import (
 // time horizon with events still pending.
 var ErrHorizon = errors.New("des: horizon reached with pending events")
 
+// Event lifecycle states. A pending event may fire or be cancelled, and
+// each transition happens at most once; the zero value is pending so
+// pooled events come out of the freelist ready to schedule.
+const (
+	eventPending uint8 = iota
+	eventFired
+	eventCanceled
+)
+
 // Event is a scheduled callback. Events created by Schedule/ScheduleAt
 // can be cancelled before they fire. Events created by Post/PostAt are
 // pooled: the kernel recycles the object the moment it fires, so no
 // handle to one ever escapes.
 type Event struct {
-	time     time.Duration
-	seq      uint64
-	index    int // position in the heap, -1 once removed
-	fn       func()
-	canceled bool
+	time  time.Duration
+	fn    func()
+	state uint8
 
 	// Pooled (Post) form: fn2 is called with the two stashed arguments,
 	// and the object returns to the intrusive freelist before the call.
@@ -44,19 +59,24 @@ type Event struct {
 // fired, if cancelled).
 func (e *Event) Time() time.Duration { return e.time }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Canceled reports whether Cancel removed the event before it fired.
+// Cancelling an event whose callback already ran is a no-op, so a fired
+// event never reports true.
+func (e *Event) Canceled() bool { return e.state == eventCanceled }
 
-// Simulator owns the virtual clock and the pending-event queue.
+// Simulator owns the virtual clock and the pending-event schedule.
 type Simulator struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
-	free   *Event // intrusive freelist of recycled pooled events
+	now   time.Duration
+	heap  heap4
+	wheel wheel
+	seq   uint64
+	rng   *rand.Rand
+	free  *Event // intrusive freelist of recycled pooled events
 
 	executed    uint64
+	pending     int
 	peakPending int
+	tombstones  int // cancelled events not yet reclaimed from heap/wheel
 }
 
 // NewSimulator returns a simulator whose clock starts at zero and whose RNG
@@ -80,12 +100,16 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // cancelled and pooled ones).
 func (s *Simulator) Scheduled() uint64 { return s.seq }
 
-// Pending returns the number of events currently scheduled.
-func (s *Simulator) Pending() int { return s.events.Len() }
+// Pending returns the number of live events currently scheduled.
+// Cancelled events leave this count the moment Cancel runs, even though
+// their tombstones are reclaimed lazily.
+func (s *Simulator) Pending() int { return s.pending }
 
-// PeakPending returns the largest pending-heap depth seen so far — the
-// kernel's own memory high-water mark, tracked unconditionally because a
-// comparison per schedule is free next to the heap push.
+// PeakPending returns the largest number of simultaneously live events
+// seen so far — the kernel's own memory high-water mark, tracked
+// unconditionally because a comparison per schedule is free next to the
+// enqueue. Cancelled events stop counting at Cancel time; lazy
+// tombstones never inflate the mark.
 func (s *Simulator) PeakPending() int { return s.peakPending }
 
 // Schedule registers fn to run after delay of simulated time. A negative
@@ -105,12 +129,8 @@ func (s *Simulator) ScheduleAt(t time.Duration, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, e)
-	if n := s.events.Len(); n > s.peakPending {
-		s.peakPending = n
-	}
+	e := &Event{time: t, fn: fn}
+	s.enqueue(t, e)
 	return e
 }
 
@@ -143,13 +163,43 @@ func (s *Simulator) PostAt(t time.Duration, fn func(a0, a1 any), a0, a1 any) {
 		t = s.now
 	}
 	e := s.take()
-	e.time, e.seq = t, s.seq
+	e.time = t
 	e.fn2, e.a0, e.a1, e.pooled = fn, a0, a1, true
+	s.enqueue(t, e)
+}
+
+// enqueue assigns the event its slot in the global (time, seq) order,
+// bumps the live-event accounting, and routes it to the near-term heap
+// or the timer wheel. The wheel is the default home: parking is O(1)
+// and keeps the heap one bucket deep. Only events due below the
+// promotion horizon — typically same-bucket microsecond chains, whose
+// bucket has already been promoted — go straight to the heap, which is
+// always correct because the heap may legally hold an event at any
+// distance. If the wheel is idle its horizon may lag the clock
+// arbitrarily, so it is first caught up (safe: there is nothing parked
+// to skip).
+//
+//lint:hotpath
+func (s *Simulator) enqueue(t time.Duration, e *Event) {
+	seq := s.seq
 	s.seq++
-	heap.Push(&s.events, e)
-	if n := s.events.Len(); n > s.peakPending {
-		s.peakPending = n
+	s.pending++
+	if s.pending > s.peakPending {
+		s.peakPending = s.pending
 	}
+	w := &s.wheel
+	if w.resident() == 0 {
+		if b := int64(s.now >> g0Bits); b > w.p0 {
+			w.p0 = b
+		}
+	}
+	if int64(t>>g0Bits) < w.p0 {
+		s.heap.push(heapNode{time: t, seq: seq, ev: e})
+		return
+	}
+	n := w.takeNode()
+	n.time, n.seq, n.ev = t, seq, e
+	w.place(n)
 }
 
 // take pops the freelist, falling back to the heap allocator only while
@@ -165,128 +215,119 @@ func (s *Simulator) take() *Event {
 	return &Event{} //lint:allow allocs pool warm-up: one object per concurrent pending event, reused forever after
 }
 
-// release wipes a pooled event and pushes it onto the freelist.
+// release clears the reference fields of a pooled event — so the
+// freelist does not pin caller objects — and pushes it onto the
+// freelist. The scalar fields are left stale on purpose: PostAt
+// overwrites every one of them, and a full struct wipe costs a duffzero
+// on the hottest path in the kernel.
 //
 //lint:hotpath
 func (s *Simulator) release(e *Event) {
-	*e = Event{nextFree: s.free}
+	e.fn2, e.a0, e.a1 = nil, nil, nil
+	e.nextFree = s.free
 	s.free = e
 }
 
-// Cancel removes the event from the queue if it has not yet fired. It is
-// safe to call multiple times and after the event has fired.
+// Cancel removes the event from the schedule if it has not yet fired:
+// the event is tombstoned in O(1) — no heap surgery — and its slot is
+// reclaimed lazily when the scheduler reaches it (settle drops heap
+// tombstones, promote drops wheel tombstones). Cancelling an event whose
+// callback already ran is a no-op and does not mark it Canceled; so are
+// re-cancelling and passing nil.
 //
 //lint:hotpath
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+	if e == nil || e.state != eventPending {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&s.events, e.index)
+	e.state = eventCanceled
+	s.pending--
+	s.tombstones++
 }
 
-// Step executes the single next event, advancing the clock to its timestamp.
-// It returns false when no events remain. A pooled event is released back to
-// the freelist before its callback runs, so the callback can Post and reuse
-// the very slot it fired from.
+// settle drains cancelled tombstones off the heap top and promotes due
+// timer-wheel buckets until the heap top is the globally minimal live
+// event, reporting false when no live events remain anywhere. The wheel
+// invariant makes the order exact: every pending event below the
+// promotion horizon is already in the heap, and every parked event is at
+// or beyond it, so a heap top below the horizon is the global minimum.
+// While the tombstone count is zero — the steady state of cancel-free
+// stretches — the top's Event is never even loaded.
+//
+//lint:hotpath
+func (s *Simulator) settle() bool {
+	for {
+		if s.wheel.resident() > 0 &&
+			(len(s.heap.a) == 0 || int64(s.heap.a[0].time>>g0Bits) >= s.wheel.p0) {
+			s.tombstones -= s.wheel.promote(&s.heap)
+			continue
+		}
+		if len(s.heap.a) == 0 {
+			return false
+		}
+		if s.tombstones == 0 {
+			return true
+		}
+		switch s.heap.a[0].ev.state {
+		case eventPending:
+			return true
+		case eventCanceled:
+			s.heap.pop() // lazy-cancellation tombstone: drop and move on
+			s.tombstones--
+		default:
+			panic("des: fired event still queued")
+		}
+	}
+}
+
+// fire advances the clock to t and runs the event's callback. A pooled
+// event is released back to the freelist before its callback runs, so
+// the callback can Post and reuse the very slot it fired from.
+//
+//lint:hotpath
+func (s *Simulator) fire(e *Event, t time.Duration) {
+	s.now = t
+	s.executed++
+	s.pending--
+	if e.pooled {
+		fn2, a0, a1 := e.fn2, e.a0, e.a1
+		s.release(e)
+		fn2(a0, a1)
+		return
+	}
+	e.state = eventFired
+	e.fn()
+}
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It returns false when no live events remain.
 //
 //lint:hotpath DES kernel event loop
 func (s *Simulator) Step() bool {
-	for s.events.Len() > 0 {
-		ev, ok := heap.Pop(&s.events).(*Event)
-		if !ok {
-			return false
-		}
-		if ev.canceled {
-			if ev.pooled {
-				s.release(ev)
-			}
-			continue
-		}
-		s.now = ev.time
-		s.executed++
-		if ev.pooled {
-			fn2, a0, a1 := ev.fn2, ev.a0, ev.a1
-			s.release(ev)
-			fn2(a0, a1)
-		} else {
-			ev.fn()
-		}
-		return true
+	if !s.settle() {
+		return false
 	}
-	return false
+	n := s.heap.pop()
+	s.fire(n.ev, n.time)
+	return true
 }
 
-// Run executes events until the queue drains or the clock would pass
+// Run executes events until the schedule drains or the clock would pass
 // horizon. Events scheduled exactly at the horizon still execute. It returns
-// ErrHorizon if events remain beyond the horizon, nil otherwise.
+// ErrHorizon if live events remain beyond the horizon, nil otherwise.
 //
 //lint:hotpath DES kernel event loop
 func (s *Simulator) Run(horizon time.Duration) error {
-	for s.events.Len() > 0 {
-		next := s.events[0]
-		if next.canceled {
-			if ev, ok := heap.Pop(&s.events).(*Event); ok && ev.pooled {
-				s.release(ev)
-			}
-			continue
-		}
-		if next.time > horizon {
+	for s.settle() {
+		if s.heap.a[0].time > horizon {
 			s.now = horizon
 			return ErrHorizon
 		}
-		s.Step()
+		n := s.heap.pop()
+		s.fire(n.ev, n.time)
 	}
 	if s.now < horizon {
 		s.now = horizon
 	}
 	return nil
-}
-
-// eventHeap orders events by (time, seq) so simultaneous events run FIFO.
-// Its methods are annotated individually because container/heap reaches
-// them through the heap.Interface — a dynamic dispatch the static allocs
-// summary cannot see through (DESIGN.md §12).
-type eventHeap []*Event
-
-//lint:hotpath
-func (h eventHeap) Len() int { return len(h) }
-
-//lint:hotpath
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-//lint:hotpath
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-//lint:hotpath
-func (h *eventHeap) Push(x any) {
-	e, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	e.index = len(*h)
-	*h = append(*h, e) //lint:allow allocs amortized: the backing array doubles, then is reused for the run's lifetime
-}
-
-//lint:hotpath
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }

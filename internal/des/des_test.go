@@ -115,11 +115,25 @@ func TestCancelIsIdempotent(t *testing.T) {
 
 func TestCancelAfterFire(t *testing.T) {
 	sim := NewSimulator(1)
-	ev := sim.Schedule(time.Millisecond, func() {})
+	fired := false
+	ev := sim.Schedule(time.Millisecond, func() { fired = true })
 	if !sim.Step() {
 		t.Fatal("Step returned false")
 	}
-	sim.Cancel(ev) // must not panic or disturb the heap
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	sim.Cancel(ev) // no-op: the callback already ran
+	if ev.Canceled() {
+		t.Fatal("Canceled() = true for an event whose callback ran")
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancel-after-fire, want 0", sim.Pending())
+	}
+	sim.Cancel(ev) // still a no-op on repeat
+	if sim.Pending() != 0 {
+		t.Fatalf("Pending = %d after double cancel-after-fire, want 0", sim.Pending())
+	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {

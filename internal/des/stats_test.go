@@ -33,6 +33,52 @@ func TestPeakPending(t *testing.T) {
 // TestScheduledCountsCancelled pins that Scheduled counts every
 // ScheduleAt call, including later-cancelled events, while Executed does
 // not.
+// TestPeakPendingCancelHeavy pins the live-events-only contract: a
+// cancel-heavy workload leaves tombstones in the scheduler, but neither
+// Pending nor the PeakPending high-water mark may count them. The
+// schedule alternates near (heap) and 3 s far (wheel) timers so both
+// tombstone paths are audited.
+func TestPeakPendingCancelHeavy(t *testing.T) {
+	s := NewSimulator(1)
+	evs := make([]*Event, 0, 100)
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i+1) * time.Millisecond
+		if i%2 == 1 {
+			at = 3*time.Second + time.Duration(i)*time.Millisecond
+		}
+		evs = append(evs, s.ScheduleAt(at, func() {}))
+	}
+	if got := s.PeakPending(); got != 100 {
+		t.Fatalf("PeakPending = %d, want 100", got)
+	}
+	for i := 0; i < 90; i++ {
+		s.Cancel(evs[i])
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending after cancels = %d, want 10", got)
+	}
+	// 90 tombstones linger; scheduling 50 more live events must not push
+	// the mark past the true live count (10+50=60 < 100).
+	for i := 0; i < 50; i++ {
+		s.Schedule(time.Duration(i+200)*time.Millisecond, func() {})
+	}
+	if got := s.PeakPending(); got != 100 {
+		t.Fatalf("PeakPending after refill = %d, want 100 (tombstones must not count)", got)
+	}
+	if got := s.Pending(); got != 60 {
+		t.Fatalf("Pending after refill = %d, want 60", got)
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+	if got := uint64(60); s.Executed() != got {
+		t.Fatalf("Executed = %d, want %d (cancelled events must not run)", s.Executed(), got)
+	}
+}
+
 func TestScheduledCountsCancelled(t *testing.T) {
 	s := NewSimulator(1)
 	ran := 0
