@@ -1,9 +1,11 @@
-// Command ctqo-lint runs the repo's ten analyzers — the determinism
+// Command ctqo-lint runs the repo's thirteen analyzers — the determinism
 // family (wallclock, seededrand, maporder, nilsafe, sharedmut,
-// exhaustive, chanselect) and the hot-path allocation family (allocs,
-// hotpath, deferloop) — over the given packages. It is the mechanical
-// enforcement of DESIGN.md's determinism contract (§§1–11) and hot-path
-// allocation contract (§12), and runs in CI next to go vet.
+// exhaustive, chanselect), the hot-path allocation family (allocs,
+// hotpath, deferloop) and the interprocedural call-graph family (purity,
+// goroleak, floatdet) — over the given packages. It is the mechanical
+// enforcement of DESIGN.md's determinism contract (§§1–11), hot-path
+// allocation contract (§12) and call-graph purity contract (§15), and
+// runs in CI next to go vet.
 //
 // Usage:
 //
@@ -20,12 +22,18 @@
 //
 // The requested packages' whole local dependency closure is analyzed, in
 // dependency order, so facts-based analyzers (sharedmut, exhaustive,
-// allocs/hotpath) see the summaries their dependencies exported;
+// allocs/hotpath, purity) see the summaries their dependencies exported;
 // findings are reported only for the requested packages. Disabling an
 // analyzer another one requires (e.g. -allocs=false with hotpath on)
 // still runs it for its facts — only its diagnostics are dropped. With
-// -json, hotpath findings carry a "chain" array tracing the call path
-// from the annotated function down to the allocating construct.
+// -json, hotpath and purity findings carry a "chain" array tracing the
+// call path from the annotated function down to the allocating construct
+// or impure effect.
+//
+// -unused-allow audits the suppression comments themselves: an allow
+// directive in a requested package that names an unknown analyzer, or
+// that suppresses nothing under the analyzers that ran, is reported as a
+// finding of the synthetic "unused-allow" analyzer.
 //
 // -benchout FILE records the run's wall clock (load + analysis, all
 // analyzers) under the "lint" key of the keyed benchmark file FILE, in
@@ -59,6 +67,7 @@ func run(args []string) int {
 	verbose := fs.Bool("v", false, "report packages as they are checked and any type errors")
 	findingsExit := fs.Int("findings-exit", 1, "exit status when findings are reported (0 makes findings non-fatal)")
 	benchOut := fs.String("benchout", "", "record load+analysis wall clock under the \"lint\" key of this keyed benchmark `file`")
+	unusedAllow := fs.Bool("unused-allow", false, "report //lint:allow directives that suppress nothing (stale) or name an unknown analyzer")
 	all := analyzers.All()
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
@@ -106,6 +115,10 @@ func run(args []string) int {
 		requested[path] = true
 	}
 	facts := analysis.NewStore()
+	var audit *lint.AllowAudit
+	if *unusedAllow {
+		audit = lint.NewAllowAudit(active, all)
+	}
 	files := 0
 	var findings []lint.Finding
 	for _, path := range order {
@@ -121,7 +134,11 @@ func run(args []string) int {
 				fmt.Fprintf(os.Stderr, "  type error: %v\n", terr)
 			}
 		}
-		fs, err := lint.RunPackage(l, pkg, active, modDir, facts)
+		pkgAudit := audit
+		if !requested[path] {
+			pkgAudit = nil
+		}
+		fs, err := lint.RunPackage(l, pkg, active, modDir, facts, pkgAudit)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ctqo-lint:", err)
 			return 2
@@ -129,6 +146,9 @@ func run(args []string) int {
 		if requested[path] {
 			findings = append(findings, fs...)
 		}
+	}
+	if audit != nil {
+		findings = append(findings, audit.Findings(modDir)...)
 	}
 	lint.Sort(findings)
 	elapsed := time.Since(start)

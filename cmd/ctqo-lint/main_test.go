@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ctqosim/internal/lint"
@@ -199,11 +200,12 @@ func TestRunBenchout(t *testing.T) {
 }
 
 // TestRunRepoIsClean pins the audited state of this repository: the
-// linter — all ten analyzers, including the facts-propagating
-// sharedmut and the exhaustive and chanselect checks added with it —
+// linter — all thirteen analyzers, including the facts-propagating
+// sharedmut and the call-graph family (purity, goroleak, floatdet) —
 // over the real module must exit 0. A regression that reintroduces
-// wall-clock reads, unseeded randomness, a shared-Config write or a
-// member-dropping enum switch fails here, not just in CI.
+// wall-clock reads, unseeded randomness, a shared-Config write, an
+// impure Tweak reach, an unjoined goroutine or a map-order float sum
+// fails here, not just in CI.
 //
 // TestRepoCleanHotpath below re-checks with only the performance family
 // enabled, so a hot-path regression is attributed to the right family
@@ -240,7 +242,8 @@ func TestRepoCleanHotpath(t *testing.T) {
 	args := []string{
 		"-wallclock=false", "-seededrand=false", "-maporder=false",
 		"-nilsafe=false", "-sharedmut=false", "-exhaustive=false",
-		"-chanselect=false",
+		"-chanselect=false", "-purity=false", "-goroleak=false",
+		"-floatdet=false",
 		"./...",
 	}
 	var code int
@@ -292,5 +295,165 @@ func helper() map[string]int { return make(map[string]int) }
 	}
 	if len(findings[0].Chain) != 1 {
 		t.Fatalf("finding chain = %q, want one entry (the helper's make)", findings[0].Chain)
+	}
+}
+
+// TestRunPurityJSONChain pins the CLI end of the purity contract: a
+// //lint:pure function reaching a shared write three calls down carries
+// the full rendered chain in the -json output.
+func TestRunPurityJSONChain(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmppure\n\ngo 1.22\n",
+		"a.go": `package a
+
+var hits int
+
+//lint:pure
+func Root() { a1() }
+
+func a1() { a2() }
+func a2() { a3() }
+func a3() { hits++ }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var code int
+	out := captureStdout(t, func() {
+		inDir(t, dir, func() {
+			code = run([]string{"-json", "./..."})
+		})
+	})
+	if code != 1 {
+		t.Fatalf("run() = %d, want 1 (purity finding); output:\n%s", code, out)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "purity" {
+		t.Fatalf("findings = %+v, want exactly one purity finding", findings)
+	}
+	f := findings[0]
+	if !strings.Contains(f.Message, "3 calls deep") {
+		t.Errorf("message = %q, want it to report the depth (3 calls deep)", f.Message)
+	}
+	wantChain := []string{
+		"//lint:pure function Root: calls tmppure.a1 (a.go:",
+		"tmppure.a1: calls tmppure.a2 (a.go:",
+		"tmppure.a2: calls tmppure.a3 (a.go:",
+		"tmppure.a3: writes package variable hits (a.go:",
+	}
+	if len(f.Chain) != len(wantChain) {
+		t.Fatalf("chain = %q, want %d entries", f.Chain, len(wantChain))
+	}
+	for i, want := range wantChain {
+		if !strings.HasPrefix(f.Chain[i], want) {
+			t.Errorf("chain[%d] = %q, want prefix %q", i, f.Chain[i], want)
+		}
+	}
+}
+
+// TestRunUnusedAllow pins the stale-suppression audit: -unused-allow
+// reports directives that suppress nothing or name an unknown analyzer,
+// skips directives whose analyzer was disabled for the run, and leaves
+// working directives alone. Without the flag the audit never runs.
+func TestRunUnusedAllow(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpallow\n\ngo 1.22\n",
+		"a.go": `package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	//lint:allow seededrand jitter outside the replayed path
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func Stale() int {
+	//lint:allow maporder nothing here iterates a map
+	return 1
+}
+
+func Typo() int {
+	//lint:allow nosuchanalyzer typo
+	return 2
+}
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decode := func(out string) []lint.Finding {
+		t.Helper()
+		var findings []lint.Finding
+		if err := json.Unmarshal([]byte(out), &findings); err != nil {
+			t.Fatalf("output is not a JSON findings array: %v\n%s", err, out)
+		}
+		return findings
+	}
+
+	// Without the flag: the working allow suppresses the seededrand
+	// finding and nothing else is reported.
+	var code int
+	out := captureStdout(t, func() {
+		inDir(t, dir, func() { code = run([]string{"-json", "./..."}) })
+	})
+	if code != 0 || len(decode(out)) != 0 {
+		t.Fatalf("baseline run = %d with findings %s, want clean", code, out)
+	}
+
+	// With the flag: the stale maporder directive and the unknown name
+	// are reported; the working seededrand directive is not.
+	out = captureStdout(t, func() {
+		inDir(t, dir, func() { code = run([]string{"-unused-allow", "-json", "./..."}) })
+	})
+	if code != 1 {
+		t.Fatalf("run(-unused-allow) = %d, want 1; output:\n%s", code, out)
+	}
+	findings := decode(out)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (stale + unknown):\n%s", len(findings), out)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "unused-allow" {
+			t.Errorf("finding analyzer = %q, want unused-allow", f.Analyzer)
+		}
+		if strings.Contains(f.Message, "seededrand") {
+			t.Errorf("working directive reported stale: %s", f.Message)
+		}
+	}
+	if !strings.Contains(out, "unused //lint:allow maporder") {
+		t.Errorf("stale maporder directive not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "//lint:allow nosuchanalyzer: unknown analyzer") {
+		t.Errorf("unknown analyzer name not reported:\n%s", out)
+	}
+
+	// Disabling seededrand leaves its (now inert) directive unreported:
+	// it may be load-bearing under the full suite.
+	out = captureStdout(t, func() {
+		inDir(t, dir, func() {
+			code = run([]string{"-seededrand=false", "-unused-allow", "-json", "./..."})
+		})
+	})
+	if code != 1 {
+		t.Fatalf("run(-seededrand=false -unused-allow) = %d, want 1; output:\n%s", code, out)
+	}
+	if got := decode(out); len(got) != 2 {
+		t.Fatalf("got %d findings with seededrand disabled, want 2:\n%s", len(got), out)
+	}
+	if strings.Contains(out, "seededrand") {
+		t.Errorf("directive for a disabled analyzer must be skipped, not reported:\n%s", out)
 	}
 }

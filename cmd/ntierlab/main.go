@@ -43,8 +43,9 @@
 // self-profiling on and reports events executed, events/second, the
 // pending-heap high-water mark and allocation totals. With -benchout it
 // records the measurement under the "simstats" key of the keyed JSON
-// bench file and prints a warn-only comparison against the previously
-// recorded baseline — the reference point for DES hot-path work.
+// bench file and enforces a regression floor against the previously
+// recorded baseline (-bench-floor adjusts the ratio, 0 disables) — the
+// reference point for DES hot-path work.
 //
 // -retention bounded switches the response-time recorder to the
 // constant-memory telemetry path (HDR histogram + windowed counters);
@@ -523,11 +524,11 @@ func benchSweep(benchPath string, sc core.SweepConfig, workers int) error {
 	return nil
 }
 
-// simstatsWarnRatio is the warn-only regression threshold: a run below
-// this fraction of the recorded baseline's events/second prints a
-// warning on stderr but never fails the command — wall-clock numbers on
-// shared CI runners are too noisy for a hard gate.
-const simstatsWarnRatio = 0.5
+// simstatsFloorRatio is the default enforced regression gate: a run
+// below this fraction of the recorded baseline's events/second fails
+// the command (leaving the baseline unchanged). -bench-floor overrides
+// the ratio for noisy hardware; zero or negative disables the gate.
+const simstatsFloorRatio = 0.5
 
 // simstatsRecord is the "simstats" entry of the keyed bench file: the
 // DES kernel's self-measured throughput baseline that hot-path work is
@@ -575,7 +576,9 @@ func simstats(args []string) error {
 	retention := fs.String("retention", "bounded",
 		"telemetry retention: all (exact) or bounded (constant-memory)")
 	benchout := fs.String("benchout", "",
-		"record the measurement under the \"simstats\" key of this JSON file (warn-only comparison against the recorded baseline)")
+		"record the measurement under the \"simstats\" key of this JSON file (enforced comparison against the recorded baseline)")
+	benchFloor := fs.Float64("bench-floor", simstatsFloorRatio,
+		"fail when events/s drops below this fraction of the recorded baseline (0 or less disables the gate)")
 	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -634,15 +637,14 @@ func simstats(args []string) error {
 	}
 	if base, ok := readSimstatsBaseline(*benchout); ok && base.EventsPerSecond > 0 {
 		ratio := st.EventsPerSecond / base.EventsPerSecond
-		if ratio < simstatsWarnRatio {
-			fmt.Fprintf(os.Stderr,
-				"ntierlab: WARNING: %.3gM events/s is %.0f%% of the recorded baseline %.3gM (warn-only, threshold %.0f%%)\n",
+		if *benchFloor > 0 && ratio < *benchFloor {
+			return fmt.Errorf(
+				"%.3gM events/s is %.0f%% of the recorded baseline %.3gM, below the enforced %.0f%% floor (baseline left unchanged; override with -bench-floor, 0 disables)",
 				st.EventsPerSecond/1e6, 100*ratio,
-				base.EventsPerSecond/1e6, 100*simstatsWarnRatio)
-		} else {
-			fmt.Printf("baseline: %.3gM events/s recorded, this run %.2fx\n",
-				base.EventsPerSecond/1e6, ratio)
+				base.EventsPerSecond/1e6, 100**benchFloor)
 		}
+		fmt.Printf("baseline: %.3gM events/s recorded, this run %.2fx (floor %.0f%%)\n",
+			base.EventsPerSecond/1e6, ratio, 100**benchFloor)
 	}
 	record := simstatsRecord{
 		Benchmark:       "ntierlab-simstats",

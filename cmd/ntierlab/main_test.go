@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
@@ -225,8 +226,9 @@ func TestSweepSubcommand(t *testing.T) {
 }
 
 // TestSimstatsSubcommand exercises the kernel self-profiling CLI end to
-// end: the benchout record, the baseline-comparison path on a second run
-// (warn-only, so it must never fail the command), and the pprof flag.
+// end: the benchout record, the enforced baseline gate on a second run
+// (pass at the default floor, fail at an unreachable one, disabled at
+// zero), and the pprof flag.
 func TestSimstatsSubcommand(t *testing.T) {
 	dir := t.TempDir()
 	benchPath := dir + "/BENCH_parallel.json"
@@ -263,11 +265,35 @@ func TestSimstatsSubcommand(t *testing.T) {
 		t.Fatalf("cpuprofile not written: %v", err)
 	}
 
-	// Second run compares against the baseline just recorded; the
-	// comparison is warn-only and must never surface as an error.
+	// Second run compares against the baseline just recorded: identical
+	// work lands around 1.0x, far above the 0.5 default floor.
 	if err := run([]string{"simstats", "-scenario", "fig1-wl4000",
 		"-duration", "5s", "-benchout", benchPath}); err != nil {
 		t.Fatalf("simstats against baseline: %v", err)
+	}
+
+	// An unreachable floor must fail the gate and leave the baseline
+	// file untouched.
+	before, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simstats", "-scenario", "fig1-wl4000",
+		"-duration", "5s", "-benchout", benchPath, "-bench-floor", "1000"}); err == nil {
+		t.Fatal("simstats with -bench-floor=1000 succeeded, want the enforced gate to fail")
+	}
+	after, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed gate overwrote the recorded baseline")
+	}
+
+	// Zero disables the gate entirely.
+	if err := run([]string{"simstats", "-scenario", "fig1-wl4000",
+		"-duration", "5s", "-benchout", benchPath, "-bench-floor", "0"}); err != nil {
+		t.Fatalf("simstats with -bench-floor=0: %v", err)
 	}
 }
 

@@ -198,7 +198,7 @@ func runPerfLint(t *testing.T) []lint.Finding {
 		if err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
-		fs, err := lint.RunPackage(l, pkg, active, modDir, facts)
+		fs, err := lint.RunPackage(l, pkg, active, modDir, facts, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -140,7 +140,11 @@ func compileMix(entries []scenario.MixEntry) (*workload.Mix, error) {
 
 // compileTweak folds the per-tier overrides into a spec tweak; nil when no
 // override changes anything, so override-free documents compile to configs
-// with a nil Tweak, byte-identical to the legacy Go presets.
+// with a nil Tweak, byte-identical to the legacy Go presets. The returned
+// closure runs under the Tweak contract: it may only write through the
+// spec handed to it.
+//
+//lint:pure
 func compileTweak(web, app, db *scenario.TierOverride) func(*ntier.SystemSpec) {
 	if (web == nil || web.Zero()) && (app == nil || app.Zero()) && (db == nil || db.Zero()) {
 		return nil

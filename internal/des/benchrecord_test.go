@@ -3,6 +3,7 @@ package des
 import (
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"ctqosim/internal/benchrec"
@@ -10,12 +11,31 @@ import (
 
 // eventLoopBaselineNs is the PR 7 post_ns_per_op record (107 ns/op on
 // the container/heap scheduler after event pooling). The 4-ary heap +
-// timer wheel rewrite targets ≥2× this; CI warns — without failing, the
-// hardware varies — when a run lands below 1.5×.
+// timer wheel rewrite targets ≥2× this; the run fails when it lands
+// below 1.5× — an enforced floor, overridable for noisy hardware with
+// CTQO_BENCH_FLOOR (a replacement ratio; 0 disables the gate).
 const (
 	eventLoopBaselineNs = 107
-	eventLoopWarnRatio  = 1.5
+	eventLoopFloorRatio = 1.5
 )
+
+// benchFloor resolves the enforced floor: CTQO_BENCH_FLOOR overrides
+// the default, and a non-positive value disables the gate (the second
+// return is false).
+func benchFloor(t *testing.T, def float64) (float64, bool) {
+	s := os.Getenv("CTQO_BENCH_FLOOR")
+	if s == "" {
+		return def, true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("CTQO_BENCH_FLOOR=%q: %v", s, err)
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
 
 // TestEventLoopBenchRecord runs the EventLoop benchmark family and
 // writes the comparison under the "event_loop" key of the keyed
@@ -55,8 +75,8 @@ func TestEventLoopBenchRecord(t *testing.T) {
 	t.Logf("event_loop: schedule %d ns/op %d allocs/op -> post %d ns/op %d allocs/op, rto100k %d ns/op %d allocs/op, %.2fx PR7 baseline",
 		sched.NsPerOp(), sched.AllocsPerOp(), post.NsPerOp(), post.AllocsPerOp(),
 		rto.NsPerOp(), rto.AllocsPerOp(), baselineSpeedup)
-	if baselineSpeedup < eventLoopWarnRatio {
-		t.Logf("WARNING: event_loop post path is %.2fx the PR 7 baseline (%d ns/op vs %d ns/op), below the %.1fx floor — kernel regression or noisy hardware",
-			baselineSpeedup, post.NsPerOp(), eventLoopBaselineNs, eventLoopWarnRatio)
+	if floor, enforce := benchFloor(t, eventLoopFloorRatio); enforce && baselineSpeedup < floor {
+		t.Errorf("event_loop post path is %.2fx the PR 7 baseline (%d ns/op vs %d ns/op), below the enforced %.1fx floor — kernel regression, or set CTQO_BENCH_FLOOR for noisy hardware (0 disables)",
+			baselineSpeedup, post.NsPerOp(), eventLoopBaselineNs, floor)
 	}
 }

@@ -87,6 +87,21 @@ type Pass struct {
 	Facts *Store
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+	// UsedAllow, when set by the driver, receives a notification each
+	// time the analyzer consumes a //lint:allow directive internally
+	// (the allocs analyzer removes suppressed sites at fact-construction
+	// time, invisibly to the driver's own suppression pass). pos is the
+	// directive comment's position and name the analyzer it silenced.
+	// Drivers use it for the stale-suppression audit (-unused-allow).
+	UsedAllow func(pos token.Pos, name string)
+}
+
+// MarkAllowUsed records that the allow directive at pos was consumed for
+// the named analyzer. Safe to call with no driver hook installed.
+func (p *Pass) MarkAllowUsed(pos token.Pos, name string) {
+	if p.UsedAllow != nil {
+		p.UsedAllow(pos, name)
+	}
 }
 
 // Fact is a datum an analyzer attaches to a types.Object while analyzing

@@ -1,0 +1,332 @@
+// callgraph.go — the deterministic interprocedural call-graph engine
+// under the purity analyzer (and available to any other fact consumer).
+//
+// The design is two layers:
+//
+//  1. Callgraph, an Analyzer that exports one CalleesFact per function
+//     declaration: the static call edges leaving the function's body.
+//     Edges inside function literals are attributed to the enclosing
+//     declaration — the literal runs at some dynamic call site the
+//     analysis cannot see, so the conservative reading is "creating the
+//     closure may lead to these calls". Dynamic calls (interface
+//     methods, func values) resolve to nothing and form the engine's
+//     documented boundary, exactly like the allocs summaries (§12).
+//
+//  2. Graph, the reachability view assembled from a fact Store after
+//     the dependency-ordered run: nodes keyed by FuncID — a stable
+//     "pkgpath.Func" / "pkgpath.(Type).Method" string that does not
+//     depend on token.Pos — edges sorted by callee ID, so two loads of
+//     the same package closure serialize to byte-identical graphs and
+//     breadth-first traversals visit nodes in the same order
+//     (DESIGN.md §15).
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// maxCallEdges bounds one function's exported edge list. Functions with
+// more distinct static callees keep the maxCallEdges smallest callee IDs
+// (the cut is by sorted ID, not source position, so the surviving set is
+// load-order independent).
+const maxCallEdges = 48
+
+// FuncID names a function independently of load order:
+// "pkgpath.Func" for package-level functions,
+// "pkgpath.(Type).Method" for methods (pointer receivers stripped).
+type FuncID string
+
+// Short trims the package path down to its last element — the rendering
+// used in call chains ("core.(Runner).Do" rather than the full
+// "ctqosim/internal/core.(Runner).Do").
+func (id FuncID) Short() string {
+	s := string(id)
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// IDOf computes the FuncID of a function object.
+func IDOf(fn *types.Func) FuncID {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = "(" + n.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return FuncID(fn.Pkg().Path() + "." + name)
+	}
+	return FuncID(name)
+}
+
+// CallEdge is one static call: the callee and the first call site
+// (file base name and line) the scan saw for it.
+type CallEdge struct {
+	Callee FuncID
+	File   string
+	Line   int
+}
+
+// CalleesFact is a function's exported callee summary: its outgoing
+// static call edges, deduplicated by callee (first site wins) and sorted
+// by callee ID. The purity analyzer declares the same fact type and
+// assembles the run-wide Graph from these summaries.
+type CalleesFact struct {
+	// ID is the function's own FuncID, recorded in the fact so graph
+	// construction never needs token positions.
+	ID FuncID
+	// Edges is sorted by Callee.
+	Edges []CallEdge
+}
+
+// AFact implements Fact.
+func (*CalleesFact) AFact() {}
+
+// String renders the summary for fixture fact expectations.
+func (f *CalleesFact) String() string {
+	names := make([]string, len(f.Edges))
+	for i, e := range f.Edges {
+		names[i] = e.Callee.Short()
+	}
+	return "calls(" + strings.Join(names, "; ") + ")"
+}
+
+// Callgraph exports CalleesFact summaries for every function declared in
+// the package. It reports no diagnostics: the facts are the product, and
+// fact-consuming analyzers (purity) turn graph reachability into
+// findings. It is not registered in the user-facing suite — drivers pull
+// it in through Requires.
+var Callgraph = &Analyzer{
+	Name: "callgraph",
+	Doc: "compute per-function static callee summaries (CalleesFact) and " +
+		"propagate them cross-package; the reachability substrate of the " +
+		"purity analyzer",
+	FactTypes: []Fact{new(CalleesFact)},
+	Run:       runCallgraph,
+}
+
+func runCallgraph(pass *Pass) (any, error) {
+	if pass.Pkg == nil {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			edges := collectEdges(pass, fd.Body)
+			if len(edges) == 0 {
+				continue
+			}
+			pass.ExportObjectFact(fn, &CalleesFact{ID: IDOf(fn), Edges: edges})
+		}
+	}
+	return nil, nil
+}
+
+// collectEdges scans one body (descending into function literals) for
+// static calls and returns the deduplicated, ID-sorted edge list.
+func collectEdges(pass *Pass, body ast.Node) []CallEdge {
+	byCallee := make(map[FuncID]CallEdge)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		id := IDOf(callee)
+		if _, dup := byCallee[id]; dup {
+			return true
+		}
+		p := pass.Fset.Position(call.Pos())
+		byCallee[id] = CallEdge{Callee: id, File: filepath.Base(p.Filename), Line: p.Line}
+		return true
+	})
+	if len(byCallee) == 0 {
+		return nil
+	}
+	edges := make([]CallEdge, 0, len(byCallee))
+	for _, e := range byCallee {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Callee < edges[j].Callee })
+	if len(edges) > maxCallEdges {
+		edges = edges[:maxCallEdges]
+	}
+	return edges
+}
+
+// StaticCallee resolves a call expression to its static callee: a named
+// function or a concrete (non-interface) method. Interface methods,
+// func-typed values, builtins and type conversions return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		p, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = p.X
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+				return nil
+			}
+			return fn
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // qualified package-level function
+		}
+	}
+	return nil
+}
+
+// Graph is the run-wide call graph assembled from the CalleesFact
+// entries of a fact store. Construction, serialization and traversal are
+// all keyed by FuncID strings, never token positions, so two independent
+// loads of the same package closure produce byte-identical serializations
+// and identical traversal orders.
+type Graph struct {
+	edges map[FuncID][]CallEdge
+	objs  map[FuncID]types.Object
+}
+
+// BuildGraph collects every CalleesFact in the store into a Graph.
+func BuildGraph(s *Store) *Graph {
+	g := &Graph{
+		edges: make(map[FuncID][]CallEdge),
+		objs:  make(map[FuncID]types.Object),
+	}
+	if s == nil {
+		return g
+	}
+	for k, f := range s.m {
+		cf, ok := f.(*CalleesFact)
+		if !ok {
+			continue
+		}
+		g.edges[cf.ID] = cf.Edges
+		g.objs[cf.ID] = k.obj
+	}
+	return g
+}
+
+// Edges returns a node's outgoing edges (sorted by callee ID), or nil.
+func (g *Graph) Edges(id FuncID) []CallEdge { return g.edges[id] }
+
+// Obj returns the types.Object a node's fact was exported on, or nil —
+// the handle consumers use to look up further facts on reachable
+// functions.
+func (g *Graph) Obj(id FuncID) types.Object { return g.objs[id] }
+
+// Len reports the number of nodes with outgoing edges.
+func (g *Graph) Len() int { return len(g.edges) }
+
+// Serialize renders the graph as one "caller -> callee (file:line)" line
+// per edge, sorted by caller then callee. The output is the determinism
+// contract's witness: byte-identical across loads of the same closure.
+func (g *Graph) Serialize() []byte {
+	ids := make([]FuncID, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var buf bytes.Buffer
+	for _, id := range ids {
+		for _, e := range g.edges[id] {
+			fmt.Fprintf(&buf, "%s -> %s (%s:%d)\n", id, e.Callee, e.File, e.Line)
+		}
+	}
+	return buf.Bytes()
+}
+
+// Find runs a breadth-first search from a node and returns the edge path
+// to the nearest node satisfying hit, or ok=false when none is reachable
+// within maxDepth edges. hit(from) short-circuits with an empty path.
+// The traversal is deterministic: edges are stored sorted by callee ID
+// and the queue is FIFO, so equal-depth candidates resolve to the
+// smallest ID.
+func (g *Graph) Find(from FuncID, maxDepth int, hit func(FuncID) bool) ([]CallEdge, bool) {
+	if hit(from) {
+		return nil, true
+	}
+	type hop struct {
+		id   FuncID
+		via  CallEdge
+		prev int // index into hops, -1 for roots
+	}
+	hops := []hop{}
+	visited := map[FuncID]bool{from: true}
+	queue := []int{}
+	depth := map[FuncID]int{from: 0}
+	for _, e := range g.edges[from] {
+		if visited[e.Callee] {
+			continue
+		}
+		visited[e.Callee] = true
+		depth[e.Callee] = 1
+		hops = append(hops, hop{id: e.Callee, via: e, prev: -1})
+		queue = append(queue, len(hops)-1)
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		h := hops[i]
+		if hit(h.id) {
+			var path []CallEdge
+			for j := i; j >= 0; j = hops[j].prev {
+				path = append(path, hops[j].via)
+			}
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			return path, true
+		}
+		if depth[h.id] >= maxDepth {
+			continue
+		}
+		for _, e := range g.edges[h.id] {
+			if visited[e.Callee] {
+				continue
+			}
+			visited[e.Callee] = true
+			depth[e.Callee] = depth[h.id] + 1
+			hops = append(hops, hop{id: e.Callee, via: e, prev: i})
+			queue = append(queue, len(hops)-1)
+		}
+	}
+	return nil, false
+}

@@ -131,7 +131,7 @@ func analyzeWithDeps(t *testing.T, srcRoot string, a *analysis.Analyzer, path st
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", p, terr)
 		}
-		fs, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "", facts)
+		fs, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{a}, "", facts, nil)
 		if err != nil {
 			t.Errorf("run %s on %s: %v", a.Name, p, err)
 			return l, nil, nil, nil

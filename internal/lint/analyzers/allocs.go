@@ -117,7 +117,7 @@ func runAllocs(pass *analysis.Pass) (any, error) {
 	s := &allocsState{
 		pass:    pass,
 		byObj:   make(map[*types.Func]*allocSummary),
-		allowed: allocAllowedLines(pass),
+		allowed: allowedLinesFor(pass, "allocs"),
 	}
 	s.collect()
 	s.fixpoint()
@@ -149,58 +149,18 @@ type allocsState struct {
 	funcs []*allocSummary
 	byObj map[*types.Func]*allocSummary
 	// allowed maps file -> line numbers carrying a //lint:allow directive
-	// naming "allocs"; a site on such a line or the one below it is
-	// suppressed at fact-construction time.
-	allowed map[string]map[int]bool
-}
-
-// allowsAllocs parses one comment's text with the driver's allow grammar
-// and reports whether it names the allocs analyzer.
-func allowsAllocs(text string) bool {
-	rest, ok := strings.CutPrefix(text, "//lint:allow")
-	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
-		return false
-	}
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return false
-	}
-	for _, name := range strings.Split(fields[0], ",") {
-		if name == "allocs" {
-			return true
-		}
-	}
-	return false
-}
-
-// allocAllowedLines collects the lines carrying allocs allow directives.
-func allocAllowedLines(pass *analysis.Pass) map[string]map[int]bool {
-	out := make(map[string]map[int]bool)
-	for _, f := range pass.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !allowsAllocs(c.Text) {
-					continue
-				}
-				pos := pass.Fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]bool)
-					out[pos.Filename] = lines
-				}
-				lines[pos.Line] = true
-			}
-		}
-	}
-	return out
+	// naming "allocs" (keyed to the directive comment's position, so
+	// consumption can be reported to the driver's stale-suppression
+	// audit); a site on such a line or the one below it is suppressed at
+	// fact-construction time.
+	allowed map[string]map[int]token.Pos
 }
 
 // suppressedAt reports whether a site at pos carries an allocs allow on
-// its own line or the line above.
+// its own line or the line above, notifying the driver's audit hook of
+// the consumed directive.
 func (s *allocsState) suppressedAt(pos token.Pos) bool {
-	p := s.pass.Fset.Position(pos)
-	lines := s.allowed[p.Filename]
-	return lines != nil && (lines[p.Line] || lines[p.Line-1])
+	return consumeAllow(s.pass, s.allowed, pos, "allocs")
 }
 
 func (s *allocsState) collect() {

@@ -10,7 +10,13 @@
 // allocs (bottom-up cross-package AllocsFact summaries), hotpath
 // (//lint:hotpath functions must have an allocation-free transitive call
 // graph, within an optional allocs=N budget) and deferloop (no defer or
-// named-return closures in hot loops).
+// named-return closures in hot loops) — and the interprocedural family
+// built on the analysis package's call-graph engine: purity (//lint:pure
+// functions and //lint:nocapturewrite closures must reach no shared
+// write, I/O or nondeterminism, with the call chain rendered), goroleak
+// (every goroutine spawned by the sweep runner or live harness needs a
+// visible join) and floatdet (no order-dependent float accumulation or
+// comparison where numbers must replay bit-for-bit).
 //
 // The checks encode the repo's determinism contract (see DESIGN.md):
 // the paper's CTQO results are only reproducible if a fixed seed replays
@@ -21,7 +27,9 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 
 	"ctqosim/internal/lint/analysis"
 )
@@ -34,6 +42,7 @@ func All() []*analysis.Analyzer {
 		Wallclock, Seededrand, Maporder, Nilsafe,
 		Sharedmut, Exhaustive, Chanselect,
 		Allocs, Hotpath, Deferloop,
+		Purity, Goroleak, Floatdet,
 	}
 }
 
@@ -78,4 +87,67 @@ func unparen(e ast.Expr) ast.Expr {
 		}
 		e = p.X
 	}
+}
+
+// directiveAllows parses one comment's text with the driver's
+// //lint:allow grammar and reports whether it names the given analyzer.
+// Analyzers that consume suppressions at fact-construction time (allocs,
+// purity) use it to strip sites before their facts propagate.
+func directiveAllows(text, name string) bool {
+	rest, ok := strings.CutPrefix(text, "//lint:allow")
+	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return false
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedLinesFor collects the lines carrying //lint:allow directives
+// naming the analyzer, mapped to the directive comment's position (so
+// consumption can be reported to the driver's stale-suppression audit).
+func allowedLinesFor(pass *analysis.Pass, name string) map[string]map[int]token.Pos {
+	out := make(map[string]map[int]token.Pos)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !directiveAllows(c.Text, name) {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]token.Pos)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = c.Pos()
+			}
+		}
+	}
+	return out
+}
+
+// consumeAllow reports whether a site at pos is covered by an allow
+// directive (own line or the line above) in the allowed table, notifying
+// the driver's audit hook when it is.
+func consumeAllow(pass *analysis.Pass, allowed map[string]map[int]token.Pos, pos token.Pos, name string) bool {
+	p := pass.Fset.Position(pos)
+	lines := allowed[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if cpos, ok := lines[line]; ok {
+			pass.MarkAllowUsed(cpos, name)
+			return true
+		}
+	}
+	return false
 }

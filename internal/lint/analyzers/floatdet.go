@@ -1,0 +1,183 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// floatdetExtraPackages extend the sim-time gate with the packages that
+// aggregate float metrics: the HDR/percentile pipeline and the
+// analytical model. Together with SimTimePackages they are everywhere a
+// float result feeds the paper's replayable numbers.
+var floatdetExtraPackages = []string{
+	"ctqosim/internal/metrics",
+	"ctqosim/internal/analytic",
+}
+
+// Floatdet flags order-dependent floating-point arithmetic in the
+// packages whose numbers must replay bit-for-bit:
+//
+//   - float accumulation (+=, -=, *=, /=, or x = x + ...) inside a
+//     range-over-map body — FP addition is not associative, so summing
+//     in map-iteration order changes the result run to run;
+//   - Merge calls inside a range-over-map body — shard merges must
+//     follow the metricAccum/HDR shard-order contract, not hash order;
+//   - == / != between two non-constant float operands — equality after
+//     accumulation is rounding- and order-sensitive.
+//
+// Comparisons against constants (v == 0 sentinel checks) stay legal:
+// they test an exact stored value, not an accumulation path.
+var Floatdet = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc: "flag order-dependent float accumulation and merges in " +
+		"range-over-map bodies, and float equality between non-constant " +
+		"operands, in the sim-time and metrics packages",
+	Run: runFloatdet,
+}
+
+// inFloatdetScope reports whether the package path is gated.
+func inFloatdetScope(path string) bool {
+	if inSimTime(path) {
+		return true
+	}
+	for _, p := range floatdetExtraPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatdet(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !inFloatdetScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	s := &floatdetState{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if s.isMapRange(n) {
+					s.checkMapRangeBody(n.Body)
+				}
+			case *ast.BinaryExpr:
+				s.checkFloatEquality(n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type floatdetState struct {
+	pass *analysis.Pass
+}
+
+// isMapRange reports whether the statement ranges over a map.
+func (s *floatdetState) isMapRange(r *ast.RangeStmt) bool {
+	tv, ok := s.pass.TypesInfo.Types[r.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// compoundFloatOps are the assignment operators that fold the old value
+// into the new one.
+var compoundFloatOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+// checkMapRangeBody flags float accumulation and Merge calls inside one
+// range-over-map body (nested function literals included — they still
+// run per iteration).
+func (s *floatdetState) checkMapRangeBody(body *ast.BlockStmt) {
+	info := s.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if compoundFloatOps[n.Tok] && len(n.Lhs) == 1 && s.isFloat(n.Lhs[0]) {
+				s.pass.Reportf(n.Pos(),
+					"float accumulation in map-iteration order is not replayable: iterate sorted keys (maporder contract) or accumulate per shard")
+			}
+			if n.Tok == token.ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 && s.isFloat(n.Lhs[0]) {
+				if v := selectedVar(info, n.Lhs[0]); v != nil && s.rhsFoldsVar(n.Rhs[0], v) {
+					s.pass.Reportf(n.Pos(),
+						"float accumulation in map-iteration order is not replayable: iterate sorted keys (maporder contract) or accumulate per shard")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Merge" {
+				return true
+			}
+			if selection, ok := info.Selections[sel]; !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			s.pass.Reportf(n.Pos(),
+				"Merge inside a range-over-map body runs in hash order: merge shards in index order (the metricAccum/HDR contract)")
+		}
+		return true
+	})
+}
+
+// rhsFoldsVar reports whether the expression is a binary arithmetic
+// chain with v as one operand — the x = x + delta accumulation shape.
+func (s *floatdetState) rhsFoldsVar(e ast.Expr, v *types.Var) bool {
+	b, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if selectedVar(s.pass.TypesInfo, side) == v {
+			return true
+		}
+		if s.rhsFoldsVar(side, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFloatEquality flags == / != where both operands are non-constant
+// floats.
+func (s *floatdetState) checkFloatEquality(b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	info := s.pass.TypesInfo
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		tv, ok := info.Types[side]
+		if !ok || tv.Value != nil || !isFloatType(tv.Type) {
+			return
+		}
+	}
+	s.pass.Reportf(b.OpPos,
+		"%s between non-constant floats is rounding-sensitive: compare with an epsilon or on integer representations", b.Op)
+}
+
+// isFloat reports whether the expression has a floating-point type.
+func (s *floatdetState) isFloat(e ast.Expr) bool {
+	tv, ok := s.pass.TypesInfo.Types[e]
+	return ok && isFloatType(tv.Type)
+}
+
+// isFloatType reports whether t's underlying type is float32/float64.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,16 @@
+package analyzers
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+)
+
+func TestFloatdet(t *testing.T) {
+	analysistest.Run(t, "testdata", Floatdet, "ctqosim/internal/metrics/floatdetbad")
+}
+
+func TestFloatdetAllowed(t *testing.T) {
+	analysistest.RunExpectClean(t, "testdata", Floatdet,
+		"ctqosim/internal/metrics/floatdetok", "floatdet/ungated")
+}

@@ -1,0 +1,434 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ctqosim/internal/lint/analysis"
+)
+
+// goroleakScope gates the analyzer to the packages that spawn real
+// goroutines around the simulator: the parallel sweep runner and the
+// live (wall-clock) harness. The DES core is single-threaded by design —
+// wallclock/chanselect police it — so the structured-concurrency
+// contract only binds where `go` is legitimate.
+var goroleakScope = []string{
+	"ctqosim/internal/core",
+	"ctqosim/internal/live",
+}
+
+// Goroleak enforces structured concurrency on the packages that spawn
+// goroutines: every `go` statement must have a visible join — a
+// sync.WaitGroup Done in the spawned body (with Add before the spawn and
+// a Wait somewhere in the package), or a completion send on a channel
+// the enclosing scope receives from, owns (field, package var,
+// parameter) or hands off. It also flags the two classic races: wg.Add
+// inside the spawned goroutine (racing Wait), and sends on an unbuffered
+// locally-made channel nothing receives.
+//
+// Spawns it cannot resolve statically (dynamic function values) are
+// skipped: the analyzer is a leak tripwire for the harness's own
+// patterns, not an escape analysis.
+var Goroleak = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "require a visible join (WaitGroup or completion channel) for every " +
+		"goroutine spawned in the sweep runner and live harness, and flag " +
+		"wg.Add races and unbuffered sends with no receiver",
+	Run: runGoroleak,
+}
+
+// inGoroleakScope reports whether the package path is gated.
+func inGoroleakScope(path string) bool {
+	for _, p := range goroleakScope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroleak(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !inGoroleakScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	s := &goroleakState{
+		pass:     pass,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		waited:   make(map[types.Object]bool),
+		reported: make(map[token.Pos]bool),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				s.decls[fn] = fd
+			}
+		}
+		// Wait is join evidence wherever it lives: a worker pool's Wait
+		// sits in Close, not next to the spawn.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if obj := s.wgCallTarget(call, "Wait"); obj != nil {
+					s.waited[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					s.checkGo(fd, g)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+type goroleakState struct {
+	pass   *analysis.Pass
+	decls  map[*types.Func]*ast.FuncDecl
+	waited map[types.Object]bool
+	// reported dedupes check-A findings when two spawn sites share a
+	// method body.
+	reported map[token.Pos]bool
+}
+
+// chanSend is one completion signal candidate: a send or close in the
+// spawned body on a channel declared outside it.
+type chanSend struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// checkGo verifies one spawn site.
+func (s *goroleakState) checkGo(fd *ast.FuncDecl, g *ast.GoStmt) {
+	body := s.spawnedBody(g.Call)
+	if body == nil {
+		return // dynamic spawn: not statically resolvable
+	}
+	s.flagAddInside(body)
+
+	doneWGs := s.wgDoneObjs(body)
+	sent := s.sentChans(body)
+	for _, wg := range doneWGs {
+		if s.addBefore(fd.Body, wg, g.Pos()) && s.waited[wg] {
+			return // joined: Add -> go -> Done -> Wait
+		}
+	}
+	for _, c := range sent {
+		if s.chanJoined(fd, c.obj) {
+			return // joined: the completion send has a visible consumer
+		}
+	}
+
+	if len(doneWGs) > 0 {
+		wg := doneWGs[0]
+		if !s.addBefore(fd.Body, wg, g.Pos()) {
+			s.pass.Reportf(g.Pos(),
+				"goroutine joins via %s.Done but no %s.Add precedes the go statement", wg.Name(), wg.Name())
+		} else {
+			s.pass.Reportf(g.Pos(),
+				"goroutine joins via %s.Done but %s.Wait is never called in this package", wg.Name(), wg.Name())
+		}
+		return
+	}
+	if len(sent) > 0 {
+		c := sent[0]
+		if s.unbuffered(fd.Body, c.obj) {
+			s.pass.Reportf(c.pos,
+				"goroutine sends on unbuffered channel %s with no receive in scope: the send blocks forever", c.obj.Name())
+		} else {
+			s.pass.Reportf(g.Pos(),
+				"goroutine signals completion on channel %s but nothing in scope receives or hands it off", c.obj.Name())
+		}
+		return
+	}
+	s.pass.Reportf(g.Pos(),
+		"goroutine has no join: no WaitGroup.Done and no completion-channel send — a panic or early return leaks it")
+}
+
+// spawnedBody resolves the body the go statement runs: a function
+// literal's own body, or the declaration of a same-package function or
+// method (`go s.worker()`).
+func (s *goroleakState) spawnedBody(call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := analysis.StaticCallee(s.pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	if decl := s.decls[fn]; decl != nil {
+		return decl.Body
+	}
+	return nil
+}
+
+// flagAddInside reports wg.Add calls inside the spawned body on a
+// WaitGroup declared outside it — the Add races the corresponding Wait.
+// An Add that precedes a nested spawn in the same body is the legal
+// add-before-go pattern and is skipped.
+func (s *goroleakState) flagAddInside(body *ast.BlockStmt) {
+	var nestedGos []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			nestedGos = append(nestedGos, g.Pos())
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := s.wgCallTarget(call, "Add")
+		if obj == nil || declaredInside(obj, body) || s.reported[call.Pos()] {
+			return true
+		}
+		for _, gp := range nestedGos {
+			if gp > call.Pos() {
+				return true // add-before-nested-go: legal
+			}
+		}
+		s.reported[call.Pos()] = true
+		s.pass.Reportf(call.Pos(),
+			"%s.Add inside the spawned goroutine races Wait: call Add before the go statement", obj.Name())
+		return true
+	})
+}
+
+// wgDoneObjs collects the WaitGroups the body calls Done on, in source
+// order, skipping ones declared inside the body itself.
+func (s *goroleakState) wgDoneObjs(body *ast.BlockStmt) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := s.wgCallTarget(call, "Done"); obj != nil && !seen[obj] && !declaredInside(obj, body) {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// sentChans collects the channels the body sends on or closes, in source
+// order, skipping ones declared inside the body itself.
+func (s *goroleakState) sentChans(body *ast.BlockStmt) []chanSend {
+	var out []chanSend
+	seen := make(map[*types.Var]bool)
+	add := func(e ast.Expr, pos token.Pos) {
+		v := s.chanVar(e)
+		if v == nil || seen[v] || declaredInside(v, body) {
+			return
+		}
+		seen[v] = true
+		out = append(out, chanSend{obj: v, pos: pos})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			add(n.Chan, n.Arrow)
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, ok := s.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					add(n.Args[0], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// addBefore reports whether scope calls Add on the WaitGroup before pos.
+func (s *goroleakState) addBefore(scope *ast.BlockStmt, wg *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() < pos && s.wgCallTarget(call, "Add") == wg {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// chanJoined reports whether the completion channel has a visible
+// consumer: it outlives the function (field, package var, parameter of
+// the enclosing function), the enclosing body receives from it, or the
+// enclosing body hands it off (returns it or passes it to a call).
+func (s *goroleakState) chanJoined(fd *ast.FuncDecl, c *types.Var) bool {
+	if c.IsField() || (c.Pkg() != nil && c.Parent() == c.Pkg().Scope()) {
+		return true
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if s.pass.TypesInfo.Defs[name] == c {
+					return true
+				}
+			}
+		}
+	}
+	info := s.pass.TypesInfo
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && s.chanVar(n.X) == c {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if s.chanVar(n.X) == c {
+				joined = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if s.chanVar(r) == c {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					return true // make/close/len/cap do not hand off
+				}
+			}
+			for _, arg := range n.Args {
+				if s.chanVar(arg) == c {
+					joined = true
+				}
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// unbuffered reports whether the channel is made in scope with no (or
+// zero) capacity. An untraceable channel is conservatively treated as
+// buffered.
+func (s *goroleakState) unbuffered(scope *ast.BlockStmt, c *types.Var) bool {
+	info := s.pass.TypesInfo
+	result := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) || s.chanVar(lhs) != c {
+				continue
+			}
+			call, ok := unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				continue
+			}
+			if len(call.Args) < 2 {
+				result = true
+			} else if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+				result = true
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// wgCallTarget resolves a call of the form X.name() where X is a
+// sync.WaitGroup variable or field, returning that variable.
+func (s *goroleakState) wgCallTarget(call *ast.CallExpr, name string) *types.Var {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	v := selectedVar(s.pass.TypesInfo, sel.X)
+	if v == nil || !isWaitGroupType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// chanVar resolves an expression to the channel variable it names, or
+// nil for anything else.
+func (s *goroleakState) chanVar(e ast.Expr) *types.Var {
+	v := selectedVar(s.pass.TypesInfo, e)
+	if v == nil {
+		return nil
+	}
+	if _, ok := v.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return v
+}
+
+// selectedVar resolves an identifier, field selection or qualified name
+// to the variable it denotes.
+func selectedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		v, _ := info.Defs[e].(*types.Var) // the := in "c := make(chan T)"
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// isWaitGroupType reports whether t is sync.WaitGroup (or a pointer to
+// it).
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// declaredInside reports whether the object's declaration lies within
+// the node's source range.
+func declaredInside(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}

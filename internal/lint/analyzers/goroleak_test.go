@@ -1,0 +1,16 @@
+package analyzers
+
+import (
+	"testing"
+
+	"ctqosim/internal/lint/analysistest"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", Goroleak, "ctqosim/internal/core/goroleakbad")
+}
+
+func TestGoroleakAllowed(t *testing.T) {
+	analysistest.RunExpectClean(t, "testdata", Goroleak,
+		"ctqosim/internal/live/goroleakok", "goroleak/ungated")
+}

@@ -35,7 +35,7 @@ func TestHotpathChain(t *testing.T) {
 		if err != nil {
 			t.Fatalf("load %s: %v", p, err)
 		}
-		fs, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{Hotpath}, "", facts)
+		fs, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{Hotpath}, "", facts, nil)
 		if err != nil {
 			t.Fatalf("run %s: %v", p, err)
 		}

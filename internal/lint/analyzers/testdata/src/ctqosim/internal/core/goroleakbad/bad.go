@@ -1,0 +1,54 @@
+// Package goroleakbad exercises the goroleak analyzer's findings: joins
+// that are missing, racy, or blocked.
+package goroleakbad
+
+import "sync"
+
+func LeakNoJoin() {
+	go func() { // want `goroutine has no join: no WaitGroup.Done and no completion-channel send`
+		_ = 1 + 1
+	}()
+}
+
+func AddInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() { // want `goroutine joins via wg.Done but no wg.Add precedes the go statement`
+		wg.Add(1) // want `wg.Add inside the spawned goroutine races Wait: call Add before the go statement`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func NoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine joins via wg.Done but wg.Wait is never called in this package`
+		defer wg.Done()
+	}()
+}
+
+func UnbufferedNoReceive() {
+	c := make(chan int)
+	go func() {
+		c <- 1 // want `goroutine sends on unbuffered channel c with no receive in scope: the send blocks forever`
+	}()
+}
+
+func BufferedNoReceive() {
+	c := make(chan int, 1)
+	go func() { // want `goroutine signals completion on channel c but nothing in scope receives or hands it off`
+		c <- 1
+	}()
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {
+	p.wg.Done()
+}
+
+func (p *pool) Start() {
+	go p.run() // want `goroutine joins via wg.Done but no wg.Add precedes the go statement`
+}

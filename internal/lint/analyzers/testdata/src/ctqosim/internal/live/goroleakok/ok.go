@@ -1,0 +1,112 @@
+// Package goroleakok exercises the goroleak analyzer's accepted
+// patterns — each mirrors a real spawn site in internal/core or
+// internal/live.
+package goroleakok
+
+import "sync"
+
+// Fan mirrors core's Runner.Do: local WaitGroup, Add before each spawn,
+// Done deferred inside, Wait after the feed loop.
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	slots := make(chan int)
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range slots {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		slots <- i
+	}
+	close(slots)
+	wg.Wait()
+}
+
+// Collect mirrors live's RunLoad: a buffered completion channel the
+// enclosing function drains.
+func Collect(n int) []int {
+	out := make([]int, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			out[i] = i * i
+			done <- i
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return out
+}
+
+// Pool mirrors live's Server: field WaitGroup, Add in the constructor,
+// Done in the method bodies, Wait in Close.
+type Pool struct {
+	wg   sync.WaitGroup
+	work chan int
+}
+
+func NewPool(workers int) *Pool {
+	p := &Pool{work: make(chan int, workers)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for range p.work {
+	}
+}
+
+func (p *Pool) Close() {
+	close(p.work)
+	p.wg.Wait()
+}
+
+// Launch hands the join off to the caller: the completion channel is
+// returned.
+func Launch() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+// Signal reports on a caller-owned channel.
+func Signal(done chan<- struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// Nested: an Add inside a goroutine is legal when it precedes a nested
+// spawn in the same body.
+func Nested() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}()
+	wg.Wait()
+}
+
+// Detached shows the escape hatch for a deliberate fire-and-forget.
+func Detached() {
+	//lint:allow goroleak best-effort warmup, joined by process exit
+	go func() {
+		_ = 1 + 1
+	}()
+}

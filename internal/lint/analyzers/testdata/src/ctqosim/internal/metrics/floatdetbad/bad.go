@@ -1,0 +1,48 @@
+// Package floatdetbad exercises the floatdet analyzer's findings:
+// order-dependent float accumulation, hash-order merges, and float
+// equality.
+package floatdetbad
+
+type Hist struct{ total float64 }
+
+func (h *Hist) Merge(o *Hist) { h.total += o.total }
+
+func SumShards(shards map[string]float64) float64 {
+	var sum float64
+	for _, v := range shards {
+		sum += v // want `float accumulation in map-iteration order is not replayable`
+	}
+	return sum
+}
+
+func SumExplicit(shards map[string]float64) float64 {
+	var sum float64
+	for _, v := range shards {
+		sum = sum + v // want `float accumulation in map-iteration order is not replayable`
+	}
+	return sum
+}
+
+func ScaleShards(weights map[string]float64) float64 {
+	prod := 1.0
+	for _, w := range weights {
+		prod *= w // want `float accumulation in map-iteration order is not replayable`
+	}
+	return prod
+}
+
+func MergeAll(hists map[string]*Hist) *Hist {
+	out := &Hist{}
+	for _, h := range hists {
+		out.Merge(h) // want `Merge inside a range-over-map body runs in hash order`
+	}
+	return out
+}
+
+func Trim(v float64) bool {
+	return v == float64(int64(v)) // want `== between non-constant floats is rounding-sensitive`
+}
+
+func Drifted(a, b float64) bool {
+	return a != b // want `!= between non-constant floats is rounding-sensitive`
+}

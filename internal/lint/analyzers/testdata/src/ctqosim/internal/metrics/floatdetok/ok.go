@@ -1,0 +1,63 @@
+// Package floatdetok exercises the floatdet analyzer's accepted
+// patterns: sorted-key iteration, index-order merges, constant
+// sentinels, integer accumulation, epsilon comparison, and the allow
+// escape hatch.
+package floatdetok
+
+import "sort"
+
+type Hist struct{ total float64 }
+
+func (h *Hist) Merge(o *Hist) { h.total += o.total }
+
+// SumSorted extracts and sorts the keys first: the accumulating range
+// is over a slice, so the order is fixed.
+func SumSorted(shards map[string]float64) float64 {
+	keys := make([]string, 0, len(shards))
+	for k := range shards {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += shards[k]
+	}
+	return sum
+}
+
+// MergeOrdered merges shards in index order — the metricAccum contract.
+func MergeOrdered(shards []*Hist) *Hist {
+	out := &Hist{}
+	for _, h := range shards {
+		out.Merge(h)
+	}
+	return out
+}
+
+// Unset compares against a constant: an exact stored-value sentinel.
+func Unset(v float64) bool { return v == 0 }
+
+// Count accumulates integers: exact in any order.
+func Count(shards map[string]int) int {
+	total := 0
+	for _, n := range shards {
+		total += n
+	}
+	return total
+}
+
+// Close is the sanctioned comparison form.
+func Close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// TrimAllowed shows the escape hatch for a deliberate representability
+// check.
+func TrimAllowed(v float64) bool {
+	//lint:allow floatdet exact integer-representability check
+	return v == float64(int64(v))
+}

@@ -1,0 +1,11 @@
+// Package ungated accumulates floats in map order outside the
+// analyzer's package gate: no finding.
+package ungated
+
+func Sum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

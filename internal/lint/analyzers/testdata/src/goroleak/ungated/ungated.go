@@ -1,0 +1,8 @@
+// Package ungated leaks a goroutine outside the analyzer's package
+// gate: no finding.
+package ungated
+
+func Leak() {
+	go func() {
+	}()
+}

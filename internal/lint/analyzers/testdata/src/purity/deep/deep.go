@@ -1,0 +1,39 @@
+// Package deep exercises the purity analyzer's interprocedural check:
+// a //lint:nocapturewrite Tweak closure reaches an I/O call three calls
+// down the static call graph, crossing a package boundary, and the
+// finding renders the full chain.
+package deep
+
+import "purity/depimp"
+
+type Spec struct{ Web int }
+
+// Config mirrors the simulator's scenario Config: Tweak closures run
+// inside workers and must stay pure beyond their own parameter.
+type Config struct {
+	//lint:nocapturewrite
+	Tweak func(*Spec)
+}
+
+// Build wires the per-run tweak.
+func Build() Config {
+	return Config{
+		Tweak: func(s *Spec) {
+			s.Web = 1    // the closure's own parameter: legal
+			normalize(s) // want `Tweak closure \(//lint:nocapturewrite\) reaches impure depimp.Log: I/O call os.File.WriteString \(depimp.go:\d+, 3 calls deep\)`
+		},
+	}
+}
+
+func normalize(s *Spec) {
+	if s.Web < 0 {
+		s.Web = 0
+	}
+	logStats(s)
+}
+
+func logStats(s *Spec) {
+	if s.Web > 100 {
+		depimp.Log("spec out of range")
+	}
+}

@@ -1,0 +1,11 @@
+// Package depimp is an impure dependency for the purity fixtures: its
+// effect summary is exported as a fact and imported across the package
+// boundary by the purity/deep fixture.
+package depimp
+
+import "os"
+
+// Log writes one line to stderr.
+func Log(msg string) {
+	os.Stderr.WriteString(msg + "\n")
+}

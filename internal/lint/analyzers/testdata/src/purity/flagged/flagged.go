@@ -1,0 +1,31 @@
+// Package flagged exercises the purity analyzer's direct-effect checks:
+// a //lint:pure function performing its own shared writes, I/O and
+// nondeterministic reads is reported at each offending position.
+package flagged
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+var counter int
+
+//lint:pure
+func Bad() int { // want Bad:`effects\(writes package variable counter; wall-clock call time.Now; global rand call rand.Intn; I/O call fmt.Println\)`
+	counter++         // want `//lint:pure function Bad must stay pure: writes package variable counter`
+	_ = time.Now()    // want `//lint:pure function Bad must stay pure: wall-clock call time.Now`
+	n := rand.Intn(3) // want `//lint:pure function Bad must stay pure: global rand call rand.Intn`
+	fmt.Println(n)    // want `//lint:pure function Bad must stay pure: I/O call fmt.Println`
+	return n
+}
+
+//lint:pure
+func BadChan(ch chan int) { // want BadChan:`effects\(channel send; channel receive; spawns goroutine\)`
+	ch <- 1        // want `//lint:pure function BadChan must stay pure: channel send`
+	<-ch           // want `//lint:pure function BadChan must stay pure: channel receive`
+	go func() {}() // want `//lint:pure function BadChan must stay pure: spawns goroutine`
+}
+
+//lint:pure
+func NoBody() // want `//lint:pure on NoBody, which has no body: the contract needs a call graph to check`

@@ -1,0 +1,73 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"ctqosim/internal/lint"
+	"ctqosim/internal/lint/analysis"
+	"ctqosim/internal/lint/analyzers"
+	"ctqosim/internal/lint/loader"
+)
+
+// analyzePurityClosure builds one fresh loader over this module, runs the
+// purity analyzer (and its callgraph/sharedmut requirements) across the
+// dependency closure of the scenario engine and the core simulator —
+// packages that carry //lint:pure and //lint:nocapturewrite contracts —
+// and returns the two determinism witnesses: the serialized call graph
+// and the findings rendered as JSON.
+func analyzePurityClosure(t *testing.T) (graph, findings []byte) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modDir, modPath, err := loader.FindModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := loader.New(modPath, modDir, "")
+	order, err := l.Closure([]string{"ctqosim/internal/scenario", "ctqosim/internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := analysis.NewStore()
+	var all []lint.Finding
+	for _, path := range order {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		fs, err := lint.RunPackage(l, pkg, []*analysis.Analyzer{analyzers.Purity}, modDir, facts, nil)
+		if err != nil {
+			t.Fatalf("analyze %s: %v", path, err)
+		}
+		all = append(all, fs...)
+	}
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	return analysis.BuildGraph(facts).Serialize(), buf.Bytes()
+}
+
+// TestCallGraphDeterminism is the engine's load-twice contract: two
+// independent loads of the same package closure — fresh loader, fresh
+// FileSet, fresh fact store each time — must produce byte-identical
+// serialized call graphs and byte-identical purity findings. Map
+// iteration anywhere in closure expansion, fact export, graph assembly
+// or BFS traversal would break this.
+func TestCallGraphDeterminism(t *testing.T) {
+	graph1, findings1 := analyzePurityClosure(t)
+	graph2, findings2 := analyzePurityClosure(t)
+	if len(graph1) == 0 {
+		t.Fatal("serialized call graph is empty: the closure should export CalleesFact edges for core and scenario")
+	}
+	if !bytes.Equal(graph1, graph2) {
+		t.Errorf("call graph serialization differs between loads:\nfirst load:\n%s\nsecond load:\n%s", graph1, graph2)
+	}
+	if !bytes.Equal(findings1, findings2) {
+		t.Errorf("purity findings differ between loads:\nfirst load:\n%s\nsecond load:\n%s", findings1, findings2)
+	}
+}

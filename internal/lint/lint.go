@@ -62,10 +62,24 @@ func parseAllowNames(text string) []string {
 	return strings.Split(fields[0], ",")
 }
 
-// allowedLines maps file line numbers to the analyzer names allowed on
-// them (and on the following line).
-func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	out := make(map[string]map[int]map[string]bool)
+// allowSite is one parsed //lint:allow directive with per-name usage
+// tracking for the stale-suppression audit.
+type allowSite struct {
+	file      string // absolute, as the FileSet renders it
+	line, col int
+	names     []string // in written order
+	used      map[string]bool
+}
+
+// allowTable indexes one package's allow directives by file and line.
+type allowTable struct {
+	byLine map[string]map[int]*allowSite
+	sites  []*allowSite // in scan order (files sorted, comments by position)
+}
+
+// buildAllowTable parses every allow directive in the files.
+func buildAllowTable(fset *token.FileSet, files []*ast.File) *allowTable {
+	t := &allowTable{byLine: make(map[string]map[int]*allowSite)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -74,38 +88,119 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := out[pos.Filename]
+				byLine := t.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					out[pos.Filename] = byLine
+					byLine = make(map[int]*allowSite)
+					t.byLine[pos.Filename] = byLine
 				}
-				names := byLine[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					byLine[pos.Line] = names
+				site := byLine[pos.Line]
+				if site == nil {
+					site = &allowSite{
+						file: pos.Filename, line: pos.Line, col: pos.Column,
+						used: make(map[string]bool),
+					}
+					byLine[pos.Line] = site
+					t.sites = append(t.sites, site)
 				}
-				for _, name := range parsed {
-					names[name] = true
-				}
+				site.names = append(site.names, parsed...)
 			}
 		}
 	}
-	return out
+	return t
 }
 
 // suppressed reports whether a finding at pos is covered by an allow
-// directive on its own line or the line above.
-func suppressed(allowed map[string]map[int]map[string]bool, pos token.Position, analyzer string) bool {
-	byLine := allowed[pos.Filename]
+// directive on its own line or the line above, marking the directive
+// used when it is.
+func (t *allowTable) suppressed(pos token.Position, analyzer string) bool {
+	byLine := t.byLine[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if byLine[line][analyzer] {
-			return true
+		site := byLine[line]
+		if site == nil {
+			continue
+		}
+		for _, name := range site.names {
+			if name == analyzer {
+				site.used[name] = true
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// markUsed records an analyzer-internal consumption of the directive at
+// pos (the analysis.Pass.MarkAllowUsed hook: allocs removes suppressed
+// sites at fact-construction time, before the driver ever sees them).
+func (t *allowTable) markUsed(pos token.Position, analyzer string) {
+	if site := t.byLine[pos.Filename][pos.Line]; site != nil {
+		site.used[analyzer] = true
+	}
+}
+
+// AllowAudit is the stale-suppression audit behind ctqo-lint's
+// -unused-allow mode: it accumulates every //lint:allow directive seen in
+// the audited packages, together with which names actually suppressed a
+// finding, and renders the dead ones as findings of the synthetic
+// "unused-allow" analyzer.
+type AllowAudit struct {
+	// Ran holds the names of the analyzers exercised this run (the
+	// expanded requirement closure). A directive naming an analyzer that
+	// did not run is skipped, not reported — it may be load-bearing under
+	// the full suite.
+	Ran map[string]bool
+	// Valid holds every recognized analyzer name; directives naming
+	// anything else are reported as unknown regardless of Ran.
+	Valid map[string]bool
+
+	sites []*allowSite
+}
+
+// NewAllowAudit builds an audit for a run of ran analyzers, where valid
+// is the full known suite (including requirement-only analyzers).
+func NewAllowAudit(ran, valid []*analysis.Analyzer) *AllowAudit {
+	a := &AllowAudit{Ran: make(map[string]bool), Valid: make(map[string]bool)}
+	for _, an := range analysis.Expand(ran) {
+		a.Ran[an.Name] = true
+	}
+	for _, an := range analysis.Expand(valid) {
+		a.Valid[an.Name] = true
+	}
+	return a
+}
+
+// Findings renders the audit: one finding per unknown or unused name, in
+// directive order. Paths are reported relative to relDir when possible.
+func (a *AllowAudit) Findings(relDir string) []Finding {
+	var out []Finding
+	for _, site := range a.sites {
+		file := site.file
+		if relDir != "" {
+			if rel, err := filepath.Rel(relDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		for _, name := range site.names {
+			var msg string
+			switch {
+			case !a.Valid[name]:
+				msg = fmt.Sprintf("//lint:allow %s: unknown analyzer", name)
+			case a.Ran[name] && !site.used[name]:
+				msg = fmt.Sprintf("unused //lint:allow %s: no finding is suppressed here; remove the stale directive", name)
+			default:
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "unused-allow",
+				File:     file, Line: site.line, Col: site.col,
+				Message: msg,
+			})
+		}
+	}
+	return out
 }
 
 // RunPackage applies the analyzers to one loaded package and returns the
@@ -113,17 +208,21 @@ func suppressed(allowed map[string]map[int]map[string]bool, pos token.Position, 
 // when possible. facts is the run-wide fact store; pass the same store
 // for every package of a run (in loader.Closure order) so facts exported
 // by dependency packages are visible here. Nil is accepted for runs that
-// need no cross-package facts.
+// need no cross-package facts. audit, when non-nil, registers this
+// package's //lint:allow directives for the stale-suppression report.
 //
 // The requirement closure is expanded automatically: an analyzer pulled
 // in only through another's Requires runs for its facts, with its own
 // diagnostics discarded.
-func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Analyzer, relDir string, facts *analysis.Store) ([]Finding, error) {
+func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Analyzer, relDir string, facts *analysis.Store, audit *AllowAudit) ([]Finding, error) {
 	requested := make(map[*analysis.Analyzer]bool, len(analyzers))
 	for _, a := range analyzers {
 		requested[a] = true
 	}
-	allowed := allowedLines(l.Fset, pkg.Files)
+	allowed := buildAllowTable(l.Fset, pkg.Files)
+	if audit != nil {
+		audit.sites = append(audit.sites, allowed.sites...)
+	}
 	var out []Finding
 	for _, a := range analysis.Expand(analyzers) {
 		pass := &analysis.Pass{
@@ -134,13 +233,16 @@ func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Ana
 			TypesInfo: pkg.Info,
 			Facts:     facts,
 		}
+		pass.UsedAllow = func(pos token.Pos, forName string) {
+			allowed.markUsed(l.Fset.Position(pos), forName)
+		}
 		pass.Report = func(d analysis.Diagnostic) {
+			pos := l.Fset.Position(d.Pos)
+			if allowed.suppressed(pos, a.Name) {
+				return
+			}
 			if !requested[a] {
 				return // requirement-only analyzer: facts, not findings
-			}
-			pos := l.Fset.Position(d.Pos)
-			if suppressed(allowed, pos, a.Name) {
-				return
 			}
 			file := pos.Filename
 			if relDir != "" {
@@ -168,8 +270,10 @@ func RunPackage(l *loader.Loader, pkg *loader.Package, analyzers []*analysis.Ana
 // findings sorted by position for deterministic output. The whole local
 // dependency closure of paths is analyzed — in dependency order, sharing
 // one fact store, so facts propagate across package boundaries — but
-// only findings in the requested packages are reported.
-func Run(l *loader.Loader, paths []string, analyzers []*analysis.Analyzer, relDir string) ([]Finding, error) {
+// only findings in the requested packages are reported. audit, when
+// non-nil, collects the requested packages' //lint:allow directives and
+// appends its stale-suppression findings to the result.
+func Run(l *loader.Loader, paths []string, analyzers []*analysis.Analyzer, relDir string, audit *AllowAudit) ([]Finding, error) {
 	order, err := l.Closure(paths)
 	if err != nil {
 		return nil, err
@@ -185,13 +289,20 @@ func Run(l *loader.Loader, paths []string, analyzers []*analysis.Analyzer, relDi
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", path, err)
 		}
-		fs, err := RunPackage(l, pkg, analyzers, relDir, facts)
+		pkgAudit := audit
+		if !requested[path] {
+			pkgAudit = nil // dependencies' directives are not audited
+		}
+		fs, err := RunPackage(l, pkg, analyzers, relDir, facts, pkgAudit)
 		if err != nil {
 			return nil, err
 		}
 		if requested[path] {
 			out = append(out, fs...)
 		}
+	}
+	if audit != nil {
+		out = append(out, audit.Findings(relDir)...)
 	}
 	Sort(out)
 	return out, nil

@@ -278,6 +278,10 @@ func (r *Report) String() string {
 }
 
 // Evaluate checks every assertion against the outcome, in file order.
+// It runs inside result comparison, so its verdicts must depend on the
+// outcome alone.
+//
+//lint:pure
 func Evaluate(assertions []Assertion, out Outcome) *Report {
 	rep := &Report{Results: make([]CheckResult, 0, len(assertions))}
 	for _, a := range assertions {
@@ -345,6 +349,7 @@ func (a Assertion) check(out Outcome) CheckResult {
 
 // trimFloat renders a float without a trailing ".000000".
 func trimFloat(v float64) string {
+	//lint:allow floatdet exact integer-representability check, not an accumulation compare
 	if v == float64(int64(v)) {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -14,6 +14,8 @@ import (
 // deliberately short (a couple of simulated seconds, a few hundred
 // clients) so property tests can run hundreds of them, with the race
 // detector on, in ordinary test time.
+//
+//lint:pure
 func Generate(seed int64) *Document {
 	rng := rand.New(rand.NewSource(seed))
 	doc := &Document{
